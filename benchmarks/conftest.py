@@ -1,0 +1,35 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark runs its figure's harness entry point exactly once inside
+pytest-benchmark (the simulation is deterministic — repeated rounds would
+measure the host, not the system), prints the reproduced table, asserts the
+paper's qualitative shape, and attaches the headline numbers as
+``extra_info`` so they land in the benchmark JSON.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+    holder = {}
+
+    def call():
+        holder["result"] = fn(*args, **kwargs)
+
+    benchmark.pedantic(call, rounds=1, iterations=1)
+    return holder["result"]
+
+
+@pytest.fixture
+def show():
+    """Print a FigureResult table (visible with -s, kept in captured log)."""
+
+    def _show(result):
+        print()
+        print(result.render())
+        return result
+
+    return _show

@@ -1,0 +1,126 @@
+"""Ablations of Rio's design choices (DESIGN.md §4) and extension studies.
+
+These go beyond the paper's figures: each isolates one design decision the
+paper motivates and shows it earns its keep, or validates a forward-looking
+claim (§3.1's faster-SSD prediction, §4.5's TCP portability, §4.9's
+multi-initiator extension).
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.extensions import (
+    ablation_attribute_persistence,
+    ablation_qp_affinity,
+    barrier_comparison,
+    multi_initiator_scaling,
+    oltp_comparison,
+    sensitivity_faster_ssd,
+    transport_comparison,
+)
+
+
+def test_qp_affinity_ablation(benchmark, show):
+    result = run_once(benchmark, ablation_qp_affinity, duration=3e-3)
+    show(result)
+    on = result.series(affinity=True)[0]
+    off = result.series(affinity=False)[0]
+    # Affinity inherits RC in-order delivery: fewer out-of-order arrivals
+    # at the target's in-order submission gate (§4.3.1/§4.5).  The counts
+    # are small either way (the gate makes stalls cheap); the claim is the
+    # direction and the near-zero absolute level with affinity.
+    assert on["ooo_arrivals"] < off["ooo_arrivals"]
+    assert on["ooo_arrivals"] <= 5
+    # Throughput unharmed by keeping affinity.
+    assert on["kiops"] >= 0.95 * off["kiops"]
+    benchmark.extra_info["ooo_with_affinity"] = on["ooo_arrivals"]
+    benchmark.extra_info["ooo_without_affinity"] = off["ooo_arrivals"]
+
+
+def test_attribute_persistence_overhead(benchmark, show):
+    result = run_once(benchmark, ablation_attribute_persistence,
+                      duration=3e-3)
+    show(result)
+    rio = result.series(system="rio")[0]
+    orderless = result.series(system="orderless")[0]
+    # §4.3.2: "storing ordering attributes does not introduce much
+    # overhead" — same throughput, bounded extra target CPU.
+    assert rio["kiops"] > 0.95 * orderless["kiops"]
+    assert rio["tgt_cpu_per_100kiops"] < 2.0 * orderless["tgt_cpu_per_100kiops"]
+    assert rio["pmr_writes"] > 0
+    assert orderless["pmr_writes"] == 0
+
+
+def test_faster_ssd_sensitivity(benchmark, show):
+    result = run_once(benchmark, sensitivity_faster_ssd, duration=3e-3)
+    show(result)
+
+    def ratio(layout, system):
+        return result.column("rio_ratio", ssd=layout, system=system)[0]
+
+    # §3.1: the synchronous systems fall further behind on faster drives.
+    assert ratio("p5800x", "linux") > ratio("optane", "linux")
+    assert ratio("p5800x", "horae") > ratio("optane", "horae")
+    benchmark.extra_info["rio_over_linux_905p"] = ratio("optane", "linux")
+    benchmark.extra_info["rio_over_linux_p5800x"] = ratio("p5800x", "linux")
+
+
+def test_tcp_transport_comparison(benchmark, show):
+    result = run_once(benchmark, transport_comparison, duration=3e-3)
+    show(result)
+    for transport in ("rdma", "tcp"):
+        rio = result.column("kiops", transport=transport, system="rio")[0]
+        linux = result.column("kiops", transport=transport, system="linux")[0]
+        # Rio's asynchronous ordering wins on both transports (§4.5:
+        # "this principle can be applied to TCP networks").
+        assert rio > 3 * linux, transport
+    # TCP costs more CPU per op than RDMA for the same system.
+    rio_tcp = result.series(transport="tcp", system="rio")[0]
+    rio_rdma = result.series(transport="rdma", system="rio")[0]
+    cpu_per_op_tcp = rio_tcp["initiator_cpu"] / max(rio_tcp["kiops"], 1e-9)
+    cpu_per_op_rdma = rio_rdma["initiator_cpu"] / max(rio_rdma["kiops"], 1e-9)
+    assert cpu_per_op_tcp > cpu_per_op_rdma
+
+
+def test_barrier_interface_comparison(benchmark, show):
+    """§2.2: strict intermediate order (BarrierFS-style) caps throughput;
+    Rio relaxes it and scales to device saturation."""
+    result = run_once(benchmark, barrier_comparison, duration=3e-3)
+    show(result)
+    barrier_1 = result.column("kiops", system="barrier", threads=1)[0]
+    barrier_12 = result.column("kiops", system="barrier", threads=12)[0]
+    rio_12 = result.column("kiops", system="rio", threads=12)[0]
+    linux_1 = result.column("kiops", system="linux", threads=1)[0]
+    # Barrier ordering beats synchronous Linux at one thread (no FLUSH,
+    # no completion wait)...
+    assert barrier_1 > 2 * linux_1
+    # ...but cannot scale: the serialized in-order persistence flatlines.
+    assert barrier_12 < 1.3 * barrier_1
+    # Rio's relaxed intermediate order wins by a wide margin at scale.
+    assert rio_12 > 3 * barrier_12
+    benchmark.extra_info["barrier_12t_kiops"] = barrier_12
+    benchmark.extra_info["rio_12t_kiops"] = rio_12
+
+
+def test_oltp_comparison(benchmark, show):
+    """MySQL-style OLTP (§3.1's motivating application class): redo group
+    commit + IPU page cleaning favours the asynchronous ordering stack."""
+    result = run_once(benchmark, oltp_comparison, threads=(1, 4),
+                      duration=4e-3)
+    show(result)
+    for count in (1, 4):
+        riofs = result.column("ktps", fs="riofs", threads=count)[0]
+        ext4 = result.column("ktps", fs="ext4", threads=count)[0]
+        assert riofs > ext4, count
+    # The page cleaner (IPU path) actually ran.
+    assert any(row["cleaner_runs"] > 0 for row in result.rows)
+
+
+def test_multi_initiator_scaling(benchmark, show):
+    result = run_once(benchmark, multi_initiator_scaling,
+                      initiator_counts=(1, 2), duration=3e-3)
+    show(result)
+    one = result.series(initiators=1)[0]
+    two = result.series(initiators=2)[0]
+    # Two initiators drive the shared array at least as hard as one, and
+    # ordering state never couples them (§4.9).
+    assert two["total_kiops"] >= one["total_kiops"]
+    benchmark.extra_info["total_kiops_2init"] = two["total_kiops"]

@@ -1,0 +1,47 @@
+"""Figure 2 — motivation: the cost of storage ordering guarantees (§3.1).
+
+Paper claims reproduced here:
+
+* orderless write requests saturate both SSDs with a single thread;
+* ordered Linux NVMe-oF and HORAE perform significantly worse than the
+  orderless, with the gap largest on the flash SSD (per-group FLUSH);
+* HORAE needs many cores to approach device saturation.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.figures import fig02_motivation
+
+THREADS = (1, 2, 4, 8, 12)
+DURATION = 4e-3
+
+
+def kiops(result, system, threads):
+    return result.column("kiops", system=system, threads=threads)[0]
+
+
+def test_fig02a_flash(benchmark, show):
+    result = run_once(benchmark, fig02_motivation,
+                      ssd="flash", threads=THREADS, duration=DURATION)
+    show(result)
+    # Orderless saturates with one thread: adding threads gains little.
+    assert kiops(result, "orderless", 12) < 1.3 * kiops(result, "orderless", 1)
+    # Linux NVMe-oF is ~two orders of magnitude below orderless (FLUSH).
+    assert kiops(result, "orderless", 1) > 50 * kiops(result, "linux", 1)
+    # HORAE removes the FLUSH: far above Linux, still below orderless.
+    assert kiops(result, "horae", 1) > 10 * kiops(result, "linux", 1)
+    assert kiops(result, "horae", 1) < kiops(result, "orderless", 1)
+    benchmark.extra_info["orderless_1t_kiops"] = kiops(result, "orderless", 1)
+    benchmark.extra_info["linux_1t_kiops"] = kiops(result, "linux", 1)
+
+
+def test_fig02b_optane(benchmark, show):
+    result = run_once(benchmark, fig02_motivation,
+                      ssd="optane", threads=THREADS, duration=DURATION)
+    show(result)
+    assert kiops(result, "orderless", 12) < 1.3 * kiops(result, "orderless", 1)
+    # PLP: the FLUSH is marginal, but synchronous transfer still hurts.
+    assert kiops(result, "orderless", 1) > 4 * kiops(result, "linux", 1)
+    assert kiops(result, "horae", 1) > kiops(result, "linux", 1)
+    # HORAE approaches saturation only at high thread counts (§3.1:
+    # "needs more than 8 CPU cores to fully drive existing SSDs").
+    assert kiops(result, "horae", 12) > 3 * kiops(result, "horae", 1)

@@ -1,0 +1,43 @@
+"""Figure 3 — merging consecutive data blocks cuts CPU overhead (§3.2).
+
+Paper claims reproduced here: with throughput held at device saturation,
+increasing the mergeable batch size substantially reduces CPU cycles on
+both the initiator and the target (fewer NVMe-oF commands → fewer two-sided
+RDMA SENDs), even though merging itself costs some CPU.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.figures import fig03_merging_cpu
+
+BATCHES = (1, 2, 4, 8, 16)
+
+
+def test_fig03_merging_cpu_flash(benchmark, show):
+    result = run_once(benchmark, fig03_merging_cpu,
+                      batches=BATCHES, ssd="flash", duration=4e-3)
+    show(result)
+    _assert_shape(result)
+
+
+def test_fig03_merging_cpu_optane(benchmark, show):
+    result = run_once(benchmark, fig03_merging_cpu,
+                      batches=BATCHES, ssd="optane", duration=4e-3)
+    show(result)
+    _assert_shape(result)
+    benchmark.extra_info["cpu_per_100kiops_batch1"] = result.column(
+        "init_cpu_per_100kiops", batch=1)[0]
+    benchmark.extra_info["cpu_per_100kiops_batch16"] = result.column(
+        "init_cpu_per_100kiops", batch=16)[0]
+
+
+def _assert_shape(result):
+    base_init = result.column("init_cpu_per_100kiops", batch=1)[0]
+    base_tgt = result.column("tgt_cpu_per_100kiops", batch=1)[0]
+    deep_init = result.column("init_cpu_per_100kiops", batch=16)[0]
+    deep_tgt = result.column("tgt_cpu_per_100kiops", batch=16)[0]
+    # Merging decreases per-op CPU on both sides, substantially.
+    assert deep_init < 0.5 * base_init
+    assert deep_tgt < 0.5 * base_tgt
+    # Fewer commands on the wire as the batch grows.
+    commands = [row["commands"] for row in result.rows]
+    assert commands[-1] < commands[0]

@@ -1,0 +1,97 @@
+"""Figure 10 — block device performance (§6.2).
+
+Paper claims reproduced here (4 KB random ordered writes):
+
+* (a) flash: Rio is ~two orders of magnitude above Linux NVMe-oF and ~2.8×
+  HORAE on average, with higher CPU efficiency on both servers;
+* (b) Optane: Rio ≈ orderless; 9.4×/3.3× Linux/HORAE on average;
+* (c)/(d) multi-SSD volumes and two target servers: Rio distributes
+  ordered writes concurrently and saturates the array with few threads.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.figures import fig10_block_device
+
+THREADS = (1, 2, 4, 8, 12)
+DURATION = 3e-3
+
+
+def geomean_ratio(result, over, threads):
+    ratios = []
+    for count in threads:
+        rio = result.column("kiops", system="rio", threads=count)[0]
+        other = result.column("kiops", system=over, threads=count)[0]
+        if other > 0:
+            ratios.append(rio / other)
+    product = 1.0
+    for ratio in ratios:
+        product *= ratio
+    return product ** (1.0 / len(ratios))
+
+
+def test_fig10a_flash(benchmark, show):
+    result = run_once(benchmark, fig10_block_device,
+                      panel="a", threads=THREADS, duration=DURATION)
+    show(result)
+    # Two orders of magnitude over Linux at low thread counts.
+    rio1 = result.column("kiops", system="rio", threads=1)[0]
+    linux1 = result.column("kiops", system="linux", threads=1)[0]
+    assert rio1 > 50 * linux1
+    # ~2.8x over HORAE on average in the paper; require > 1.5x geomean.
+    assert geomean_ratio(result, "horae", THREADS) > 1.5
+    # Rio tracks the orderless.
+    for count in THREADS:
+        rio = result.column("kiops", system="rio", threads=count)[0]
+        orderless = result.column("kiops", system="orderless",
+                                  threads=count)[0]
+        assert rio > 0.85 * orderless
+    benchmark.extra_info["rio_over_linux_1t"] = rio1 / max(linux1, 1e-9)
+
+
+def test_fig10b_optane(benchmark, show):
+    result = run_once(benchmark, fig10_block_device,
+                      panel="b", threads=THREADS, duration=DURATION)
+    show(result)
+    rio1 = result.column("kiops", system="rio", threads=1)[0]
+    linux1 = result.column("kiops", system="linux", threads=1)[0]
+    assert rio1 > 5 * linux1  # paper: 9.4x on average
+    assert geomean_ratio(result, "horae", THREADS) > 1.5  # paper: 3.3x
+    for count in THREADS:
+        rio = result.column("kiops", system="rio", threads=count)[0]
+        orderless = result.column("kiops", system="orderless",
+                                  threads=count)[0]
+        assert rio > 0.85 * orderless
+    # CPU efficiency: rio close to orderless, linux/horae well below.
+    rio_eff = result.column("init_eff_norm", system="rio", threads=1)[0]
+    linux_eff = result.column("init_eff_norm", system="linux", threads=1)[0]
+    horae_eff = result.column("init_eff_norm", system="horae", threads=1)[0]
+    assert rio_eff > 0.8
+    assert linux_eff < 0.5
+    assert horae_eff < 0.5
+    benchmark.extra_info["rio_over_linux_1t"] = rio1 / max(linux1, 1e-9)
+
+
+@pytest.mark.parametrize("panel", ["c", "d"])
+def test_fig10cd_multi_ssd(panel, benchmark, show):
+    result = run_once(benchmark, fig10_block_device,
+                      panel=panel, threads=(1, 4, 12), duration=DURATION)
+    show(result)
+    # Rio reaches (near) array saturation with 4 threads: adding more
+    # threads should gain little ("Rio fully drives the SSDs with 4
+    # threads due to high CPU efficiency").
+    rio4 = result.column("kiops", system="rio", threads=4)[0]
+    rio12 = result.column("kiops", system="rio", threads=12)[0]
+    assert rio12 < 1.5 * rio4
+    # Linux cannot dispatch the next ordered write until the previous one
+    # finishes: far below rio at every thread count.
+    for count in (1, 4, 12):
+        rio = result.column("kiops", system="rio", threads=count)[0]
+        linux = result.column("kiops", system="linux", threads=count)[0]
+        assert rio > 3 * linux
+    # Rio above HORAE (synchronous control path) throughout.
+    for count in (1, 4):
+        rio = result.column("kiops", system="rio", threads=count)[0]
+        horae = result.column("kiops", system="horae", threads=count)[0]
+        assert rio > 1.3 * horae

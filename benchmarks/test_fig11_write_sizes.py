@@ -1,0 +1,54 @@
+"""Figure 11 — performance with varying write sizes (§6.2.2).
+
+Paper claims reproduced here (one thread, 4–64 KB ordered writes):
+
+* asynchronous execution matters at every size: Rio beats Linux by up to
+  two orders of magnitude and HORAE by a wide margin;
+* even at 64 KB, HORAE reaches only about half of Rio's throughput (the
+  synchronous control path costs a fixed per-request latency and CPU).
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.figures import fig11_write_sizes
+
+SIZES = (1, 2, 4, 8, 16)  # blocks: 4 KB .. 64 KB
+
+
+def mbps(result, system, kb, pattern="seq"):
+    return result.column("mb_per_sec", system=system, kb=kb,
+                         pattern=pattern)[0]
+
+
+def test_fig11_write_sizes_optane(benchmark, show):
+    result = run_once(benchmark, fig11_write_sizes,
+                      sizes_blocks=SIZES, ssd="optane", duration=4e-3)
+    show(result)
+    for pattern in ("seq", "rand"):
+        for size in SIZES:
+            kb = size * 4
+            rio = mbps(result, "rio", kb, pattern)
+            linux = mbps(result, "linux", kb, pattern)
+            horae = mbps(result, "horae", kb, pattern)
+            orderless = mbps(result, "orderless", kb, pattern)
+            assert rio > 2 * linux, (pattern, kb)
+            assert rio > 0.95 * horae, (pattern, kb)
+            assert rio > 0.8 * orderless, (pattern, kb)
+    # The gap over HORAE is largest at small writes (paper: up to 6.1x)
+    # and narrows with size.  Known deviation (see EXPERIMENTS.md): at
+    # >=32 KB our HORAE saturates the SSD, while the paper's stayed
+    # CPU-bound at ~half of Rio.
+    small_gap = mbps(result, "rio", 4) / mbps(result, "horae", 4)
+    large_gap = mbps(result, "rio", 64) / mbps(result, "horae", 64)
+    assert small_gap > large_gap
+    assert small_gap > 3.0
+    benchmark.extra_info["rio_over_horae_4k"] = small_gap
+    benchmark.extra_info["rio_over_horae_64k"] = large_gap
+
+
+def test_fig11_write_sizes_flash(benchmark, show):
+    result = run_once(benchmark, fig11_write_sizes,
+                      sizes_blocks=(1, 4, 16), ssd="flash", duration=4e-3)
+    show(result)
+    for size in (1, 4, 16):
+        kb = size * 4
+        assert mbps(result, "rio", kb) > 20 * mbps(result, "linux", kb)

@@ -1,0 +1,56 @@
+"""Figure 12 — performance with varying batch sizes (§6.2.3).
+
+Paper claims reproduced here (mergeable sequential 4 KB batches):
+
+* (a) one thread (limited CPU): merging raises Rio's throughput over the
+  "Rio w/o merge" ablation by cutting driver CPU per block;
+* (b) 12 threads (CPU plentiful, SSD saturated): merging no longer buys
+  throughput but keeps CPU efficiency high, freeing cycles;
+* HORAE's *normalized* CPU efficiency decreases as the batch grows — its
+  synchronous control path does not benefit from data-path merging.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.figures import fig12_batch_sizes
+
+BATCHES = (1, 2, 4, 8, 16)
+
+
+def test_fig12a_single_thread(benchmark, show):
+    result = run_once(benchmark, fig12_batch_sizes,
+                      panel="a", batches=BATCHES, duration=4e-3)
+    show(result)
+    # Merging increases throughput when CPU is the bottleneck.
+    rio16 = result.column("kiops", system="rio", batch=16)[0]
+    nomerge16 = result.column("kiops", system="rio-nomerge", batch=16)[0]
+    assert rio16 >= nomerge16
+    # Rio with merging sends far fewer commands.
+    rio_cmds = result.column("commands", system="rio", batch=16)[0]
+    nomerge_cmds = result.column("commands", system="rio-nomerge", batch=16)[0]
+    assert rio_cmds < 0.5 * nomerge_cmds
+    # HORAE's normalized efficiency falls with batch size (its control
+    # path cost is per group, unaffected by merging).
+    horae_eff = [
+        result.column("init_eff_norm", system="horae", batch=b)[0]
+        for b in BATCHES
+    ]
+    assert horae_eff[-1] < horae_eff[0]
+    benchmark.extra_info["rio_kiops_b16"] = rio16
+    benchmark.extra_info["nomerge_kiops_b16"] = nomerge16
+
+
+def test_fig12b_twelve_threads(benchmark, show):
+    result = run_once(benchmark, fig12_batch_sizes,
+                      panel="b", batches=(1, 4, 16), duration=3e-3)
+    show(result)
+    # SSD saturated: merging does not raise throughput much...
+    rio16 = result.column("kiops", system="rio", batch=16)[0]
+    rio1 = result.column("kiops", system="rio", batch=1)[0]
+    assert rio16 < 1.5 * rio1
+    # ...but Rio retains CPU efficiency close to the orderless.
+    rio_eff = result.column("init_eff_norm", system="rio", batch=16)[0]
+    assert rio_eff > 0.75
+    # And merging still slashes the command count vs the ablation.
+    rio_cmds = result.column("commands", system="rio", batch=16)[0]
+    nomerge_cmds = result.column("commands", system="rio-nomerge", batch=16)[0]
+    assert rio_cmds < 0.5 * nomerge_cmds

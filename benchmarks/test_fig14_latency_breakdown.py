@@ -1,0 +1,35 @@
+"""Figure 14 — fsync latency breakdown (§6.3).
+
+Paper claims reproduced here: HoraeFS's dispatch of the journaled metadata
+(JM) and commit record (JC) is delayed by the synchronous control path's
+extra network round trips, while RioFS dispatches the following blocks
+immediately after they reach the ORDER queue; Ext4 serializes everything.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.figures import fig14_latency_breakdown
+
+
+def row(result, fs):
+    return result.series(fs=fs)[0]
+
+
+def test_fig14_latency_breakdown(benchmark, show):
+    result = run_once(benchmark, fig14_latency_breakdown, iterations=50)
+    show(result)
+    ext4 = row(result, "ext4")
+    horaefs = row(result, "horaefs")
+    riofs = row(result, "riofs")
+
+    # RioFS dispatches JC almost immediately (no wait between groups).
+    assert riofs["jc_dispatch_us"] < horaefs["jc_dispatch_us"]
+    assert riofs["jc_dispatch_us"] < ext4["jc_dispatch_us"]
+    # HoraeFS pays extra dispatch delay for JM/JC (control round trips).
+    assert horaefs["jm_dispatch_us"] > riofs["jm_dispatch_us"]
+    # Total fsync latency: RioFS < HoraeFS < Ext4.
+    assert riofs["total_us"] < horaefs["total_us"] < ext4["total_us"]
+    # Ext4's JC can only dispatch after the first group round-trips.
+    assert ext4["jc_dispatch_us"] > 10  # microseconds
+    benchmark.extra_info["riofs_total_us"] = riofs["total_us"]
+    benchmark.extra_info["horaefs_total_us"] = horaefs["total_us"]
+    benchmark.extra_info["ext4_total_us"] = ext4["total_us"]

@@ -1,0 +1,50 @@
+"""Figure 15 — application performance (§6.4).
+
+Paper claims reproduced here:
+
+* Varmail (metadata/fsync intensive): RioFS increases throughput by 2.3×
+  over Ext4 and 1.3× over HoraeFS on average;
+* RocksDB fillsync (CPU + I/O intensive): RioFS gives 1.9×/1.5× the ops/s
+  of Ext4/HoraeFS on average, and leaves more CPU to the application.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.figures import fig15a_varmail, fig15b_rocksdb
+
+VARMAIL_THREADS = (1, 4, 8, 16)
+ROCKSDB_THREADS = (1, 6, 12, 24)
+
+
+def geomean_ratio(result, over, threads):
+    product, n = 1.0, 0
+    for count in threads:
+        rio = result.column("kops", fs="riofs", threads=count)[0]
+        other = result.column("kops", fs=over, threads=count)[0]
+        if other > 0:
+            product *= rio / other
+            n += 1
+    return product ** (1.0 / n)
+
+
+def test_fig15a_varmail(benchmark, show):
+    result = run_once(benchmark, fig15a_varmail,
+                      threads=VARMAIL_THREADS, duration=5e-3)
+    show(result)
+    over_ext4 = geomean_ratio(result, "ext4", VARMAIL_THREADS)
+    over_horaefs = geomean_ratio(result, "horaefs", VARMAIL_THREADS)
+    assert over_ext4 > 1.4  # paper: 2.3x on average
+    assert over_horaefs > 1.0  # paper: 1.3x on average
+    benchmark.extra_info["riofs_over_ext4"] = over_ext4
+    benchmark.extra_info["riofs_over_horaefs"] = over_horaefs
+
+
+def test_fig15b_rocksdb_fillsync(benchmark, show):
+    result = run_once(benchmark, fig15b_rocksdb,
+                      threads=ROCKSDB_THREADS, duration=5e-3)
+    show(result)
+    over_ext4 = geomean_ratio(result, "ext4", ROCKSDB_THREADS)
+    over_horaefs = geomean_ratio(result, "horaefs", ROCKSDB_THREADS)
+    assert over_ext4 > 1.2  # paper: 1.9x on average
+    assert over_horaefs > 1.0  # paper: 1.5x on average
+    benchmark.extra_info["riofs_over_ext4"] = over_ext4
+    benchmark.extra_info["riofs_over_horaefs"] = over_horaefs

@@ -1,0 +1,86 @@
+"""Meta-benchmark: how fast the simulator itself runs on the host.
+
+Unlike the figure benchmarks (deterministic single runs), these use
+pytest-benchmark the classic way — repeated timed rounds — to track the
+host-side cost of the event engine and the full stack.  Useful when
+optimizing the simulator or picking window sizes for high-fidelity runs.
+"""
+
+from repro.block.mq import BlockLayer
+from repro.block.request import Bio
+from repro.cluster import Cluster
+from repro.hw.ssd import OPTANE_905P
+from repro.sim import Environment
+
+
+def test_engine_event_throughput(benchmark):
+    """Raw timeout-event processing rate of the kernel."""
+
+    def run():
+        env = Environment()
+
+        def ticker(env):
+            for _ in range(5000):
+                yield env.timeout(1e-6)
+
+        env.process(ticker(env))
+        env.run()
+        return env.now
+
+    result = benchmark(run)
+    assert result > 0
+
+
+def test_end_to_end_write_cost(benchmark):
+    """Host cost of one simulated remote 4 KB write, full stack."""
+
+    def run():
+        env = Environment()
+        cluster = Cluster(env, target_ssds=((OPTANE_905P,),))
+        layer = BlockLayer(env, cluster.driver, cluster.volume())
+        core = cluster.initiator.cpus.pick(0)
+
+        def proc(env):
+            for i in range(200):
+                done = yield from layer.submit_bio(
+                    core, Bio(op="write", lba=i, nblocks=1)
+                )
+                yield done
+
+        env.run_until_event(env.process(proc(env)))
+        return cluster.driver.commands_sent
+
+    commands = benchmark(run)
+    assert commands == 200
+
+
+def test_saturated_iops_simulation_rate(benchmark):
+    """Simulated-IOPS-per-wall-second at device saturation (QD 32)."""
+
+    def run():
+        env = Environment()
+        cluster = Cluster(env, target_ssds=((OPTANE_905P,),))
+        layer = BlockLayer(env, cluster.driver, cluster.volume())
+        core = cluster.initiator.cpus.pick(0)
+        count = [0]
+
+        def writer(env):
+            inflight = []
+            i = 0
+            while env.now < 2e-3:
+                done = yield from layer.submit_bio(
+                    core, Bio(op="write", lba=i * 2, nblocks=1)
+                )
+                i += 1
+                inflight.append(done)
+                if len(inflight) >= 32:
+                    yield env.any_of(inflight)
+                    count[0] += sum(1 for e in inflight if e.triggered)
+                    inflight = [e for e in inflight if not e.triggered]
+
+        env.process(writer(env))
+        env.run(until=2e-3)
+        return count[0]
+
+    ops = benchmark(run)
+    assert ops > 500  # ~1000 simulated ops in the 2 ms window

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Ext4 vs HoraeFS vs RioFS on an fsync-heavy workload (§6.3).
+
+Mounts each of the three file systems on a remote Optane SSD, runs eight
+threads of 4 KB append + fsync to private files, and prints throughput and
+fsync latency plus the Figure-14-style dispatch breakdown — showing where
+each stack loses time (Ext4: synchronous waits between D, JM and JC;
+HoraeFS: control-path round trips; RioFS: everything flows through the
+ORDER queue immediately).
+
+Run:  python examples/filesystem_comparison.py
+"""
+
+from repro.fs import make_filesystem
+from repro.harness.experiment import build_cluster
+
+THREADS = 8
+DURATION = 5e-3
+
+
+def run(kind):
+    cluster = build_cluster("optane")
+    fs = make_filesystem(kind, cluster)
+    env = cluster.env
+    completed = [0]
+
+    def worker(thread_id):
+        core = cluster.initiator.cpus.pick(thread_id)
+        file = yield from fs.create(core, f"file{thread_id}")
+        while env.now < DURATION:
+            yield from fs.append(core, file, nblocks=1)
+            yield from fs.fsync(core, file, thread_id=thread_id)
+            completed[0] += 1
+
+    for thread_id in range(THREADS):
+        env.process(worker(thread_id))
+    env.run(until=DURATION)
+
+    breakdowns = [b for j in fs.journals for b in j.breakdowns]
+    n = max(1, len(breakdowns))
+    return {
+        "fs": kind,
+        "kops": completed[0] / DURATION / 1e3,
+        "avg_us": fs.fsync_latency.mean * 1e6,
+        "p99_us": fs.fsync_latency.p99 * 1e6,
+        "jm_us": sum(b.jm_dispatched - b.started for b in breakdowns) / n * 1e6,
+        "jc_us": sum(b.jc_dispatched - b.started for b in breakdowns) / n * 1e6,
+    }
+
+
+def main():
+    print(f"{THREADS} threads x (4KB append + fsync), remote Optane SSD\n")
+    header = (f"{'fs':8} {'fsync/s':>9} {'avg':>9} {'p99':>9} "
+              f"{'JM dispatch':>12} {'JC dispatch':>12}")
+    print(header)
+    print("-" * len(header))
+    rows = [run(kind) for kind in ("ext4", "horaefs", "riofs")]
+    for row in rows:
+        print(f"{row['fs']:8} {row['kops'] * 1e3:>9,.0f} "
+              f"{row['avg_us']:>7.1f}us {row['p99_us']:>7.1f}us "
+              f"{row['jm_us']:>10.1f}us {row['jc_us']:>10.1f}us")
+    ext4, horaefs, riofs = rows
+    print(f"\nRioFS vs Ext4:    {riofs['kops'] / ext4['kops']:.1f}x "
+          f"throughput, {100 * (1 - riofs['avg_us'] / ext4['avg_us']):.0f}% "
+          f"lower fsync latency")
+    print(f"RioFS vs HoraeFS: {riofs['kops'] / horaefs['kops']:.2f}x "
+          f"throughput, {100 * (1 - riofs['p99_us'] / horaefs['p99_us']):.0f}% "
+          f"lower p99")
+    print("\nThe JC-dispatch column is the Figure 14 story: Ext4 waits for "
+          "two full\nround trips before the commit record leaves the file "
+          "system; HoraeFS waits\nfor its control path; RioFS dispatches it "
+          "immediately into the ORDER queue.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup entry point; all metadata lives in ``setup.cfg``.
+
+There is deliberately no pyproject.toml (see the note in setup.cfg):
+``pip install -e .`` must take the classic develop path because the offline
+evaluation environment has no ``wheel`` package for PEP-517 editables.
+"""
+
+from setuptools import setup
+
+setup()

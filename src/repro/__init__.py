@@ -1,0 +1,26 @@
+"""Rio (EuroSys '23) full-stack reproduction.
+
+A deterministic discrete-event simulation of order-preserving remote
+storage access: the NVMe-over-Fabrics stack, RDMA/TCP fabric, SSD/PMR
+device models, the compared ordering systems (orderless, Linux, HORAE,
+BarrierFS-style, and Rio itself), journaling file systems, application
+workloads, and a harness that regenerates every figure of the paper's
+evaluation.
+
+Quick tour::
+
+    from repro.cluster import Cluster
+    from repro.core.api import RioDevice
+    from repro.hw.ssd import OPTANE_905P
+    from repro.sim import Environment
+
+    env = Environment()
+    cluster = Cluster(env, target_ssds=((OPTANE_905P,),))
+    rio = RioDevice(cluster, num_streams=4)
+
+See README.md, DESIGN.md and ``python -m repro list``.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,17 @@
+"""Block layer: bio/request structures, multi-queue submission, merging.
+
+Mirrors the Linux block-mq design the paper modifies: per-core software
+queues feed hardware (NIC) queues; a plug list batches consecutive
+submissions so adjacent requests can be merged before they reach the driver
+(Figure 3's ``blk_start_plug``/``blk_finish_plug`` experiment); oversized
+requests are split to the device's maximum transfer size (§4.5).
+"""
+
+from repro.block.request import (
+    Bio,
+    BlockRequest,
+    WriteFlags,
+)
+from repro.block.volume import LogicalVolume
+
+__all__ = ["Bio", "BlockRequest", "WriteFlags", "LogicalVolume"]

@@ -1,0 +1,87 @@
+"""Logical volume: RAID-0 style striping across remote namespaces.
+
+The paper's multi-SSD and multi-server experiments (Figures 10(c)/(d))
+organize the SSDs "as a single logical volume and the tested systems
+distribute 4 KB data blocks to individual physical SSDs in a round-robin
+fashion".  :class:`LogicalVolume` reproduces exactly that mapping: volume
+block *i* lives on member ``i % n`` at local block ``i // n``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, List, Tuple
+
+if TYPE_CHECKING:  # typing only — avoids a block <-> nvmeof import cycle
+    from repro.nvmeof.initiator import RemoteNamespace
+
+__all__ = ["LogicalVolume"]
+
+
+class LogicalVolume:
+    """A flat LBA space striped block-by-block over remote namespaces."""
+
+    def __init__(self, namespaces: List["RemoteNamespace"], stripe_blocks: int = 1):
+        if not namespaces:
+            raise ValueError("a volume needs at least one namespace")
+        if stripe_blocks < 1:
+            raise ValueError("stripe_blocks must be >= 1")
+        self.namespaces = list(namespaces)
+        self.stripe_blocks = stripe_blocks
+
+    @property
+    def width(self) -> int:
+        return len(self.namespaces)
+
+    def locate(self, lba: int) -> Tuple["RemoteNamespace", int]:
+        """Map a volume LBA to (namespace, local LBA)."""
+        if lba < 0:
+            raise ValueError(f"negative LBA: {lba}")
+        stripe = lba // self.stripe_blocks
+        offset = lba % self.stripe_blocks
+        member = stripe % self.width
+        local_stripe = stripe // self.width
+        return (
+            self.namespaces[member],
+            local_stripe * self.stripe_blocks + offset,
+        )
+
+    def extents(self, lba: int, nblocks: int) -> Iterator[Tuple["RemoteNamespace", int, List[int]]]:
+        """Break a volume extent into per-device contiguous extents.
+
+        Yields ``(namespace, local_lba, volume_offsets)`` tuples where
+        ``volume_offsets[i]`` is the offset (in blocks) within the original
+        extent of the fragment's *i*-th block — needed to slice payloads,
+        since round-robin striping interleaves a device's blocks through
+        the volume address space.
+        """
+        if nblocks < 1:
+            raise ValueError("extent needs nblocks >= 1")
+        # Collect per-device blocks, then coalesce locally contiguous runs.
+        per_device: dict = {}
+        device_order: List = []
+        for offset in range(nblocks):
+            ns, local = self.locate(lba + offset)
+            if id(ns) not in per_device:
+                per_device[id(ns)] = (ns, [])
+                device_order.append(id(ns))
+            per_device[id(ns)][1].append((local, offset))
+        for key in device_order:
+            ns, blocks = per_device[key]
+            blocks.sort()
+            run_start: int = blocks[0][0]
+            run_offsets: List[int] = [blocks[0][1]]
+            for local, offset in blocks[1:]:
+                if local == run_start + len(run_offsets):
+                    run_offsets.append(offset)
+                else:
+                    yield (ns, run_start, run_offsets)
+                    run_start, run_offsets = local, [offset]
+            yield (ns, run_start, run_offsets)
+
+    def targets(self) -> List:
+        """Distinct target servers backing this volume (stable order)."""
+        seen: List = []
+        for ns in self.namespaces:
+            if ns.target not in seen:
+                seen.append(ns.target)
+        return seen

@@ -1,0 +1,130 @@
+"""Command-line interface: regenerate any reproduced figure or table.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig10b
+    python -m repro run fig13 --duration 0.01
+    python -m repro run all
+
+``--duration`` is *virtual* seconds of measured window per configuration;
+the simulation is deterministic, so longer windows change results by
+little but take proportionally longer to run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Optional
+
+from repro.harness import figures
+from repro.harness import extensions
+
+__all__ = ["main", "FIGURES"]
+
+#: name -> (callable, description, accepts-duration)
+FIGURES: Dict[str, tuple] = {
+    "fig2a": (lambda **kw: figures.fig02_motivation(ssd="flash", **kw),
+              "motivation, flash SSD (§3.1)", True),
+    "fig2b": (lambda **kw: figures.fig02_motivation(ssd="optane", **kw),
+              "motivation, Optane SSD (§3.1)", True),
+    "fig3": (figures.fig03_merging_cpu,
+             "merging cuts CPU overhead (§3.2)", True),
+    "fig10a": (lambda **kw: figures.fig10_block_device(panel="a", **kw),
+               "block device, flash (§6.2)", True),
+    "fig10b": (lambda **kw: figures.fig10_block_device(panel="b", **kw),
+               "block device, Optane (§6.2)", True),
+    "fig10c": (lambda **kw: figures.fig10_block_device(panel="c", **kw),
+               "block device, 4-SSD volume (§6.2)", True),
+    "fig10d": (lambda **kw: figures.fig10_block_device(panel="d", **kw),
+               "block device, two targets (§6.2)", True),
+    "fig11": (figures.fig11_write_sizes, "write-size sweep (§6.2.2)", True),
+    "fig12a": (lambda **kw: figures.fig12_batch_sizes(panel="a", **kw),
+               "batch sizes, 1 thread (§6.2.3)", True),
+    "fig12b": (lambda **kw: figures.fig12_batch_sizes(panel="b", **kw),
+               "batch sizes, 12 threads (§6.2.3)", True),
+    "fig13": (figures.fig13_filesystem, "file system fsync (§6.3)", True),
+    "fig14": (lambda **kw: figures.fig14_latency_breakdown(),
+              "fsync latency breakdown (§6.3)", False),
+    "fig15a": (figures.fig15a_varmail, "Varmail (§6.4)", True),
+    "fig15b": (figures.fig15b_rocksdb, "RocksDB fillsync (§6.4)", True),
+    "recovery": (lambda **kw: figures.recovery_table(),
+                 "recovery time (§6.5)", False),
+    "ablation-affinity": (lambda **kw: extensions.ablation_qp_affinity(**kw),
+                          "Principle 2 ablation", True),
+    "ablation-attrs": (
+        lambda **kw: extensions.ablation_attribute_persistence(**kw),
+        "attribute-persistence overhead", True),
+    "sensitivity-ssd": (lambda **kw: extensions.sensitivity_faster_ssd(**kw),
+                        "faster-SSD sensitivity (§3.1)", True),
+    "tcp": (lambda **kw: extensions.transport_comparison(**kw),
+            "NVMe/TCP extension (§4.5)", True),
+    "multi-initiator": (lambda **kw: extensions.multi_initiator_scaling(**kw),
+                        "multi-initiator extension (§4.9)", True),
+    "barrier": (lambda **kw: extensions.barrier_comparison(**kw),
+                "BarrierFS-style interface comparison (§2.2)", True),
+    "oltp": (lambda **kw: extensions.oltp_comparison(**kw),
+             "MySQL-style OLTP on the three file systems", True),
+}
+
+
+def _run_one(name: str, duration: Optional[float],
+             fmt: str = "table") -> None:
+    fn, _description, takes_duration = FIGURES[name]
+    kwargs = {}
+    if duration is not None and takes_duration:
+        kwargs["duration"] = duration
+    started = time.time()
+    result = fn(**kwargs)
+    if fmt == "markdown":
+        print(result.render_markdown())
+    else:
+        print(result.render())
+    print(f"[{name}: {time.time() - started:.1f}s wall]\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the Rio (EuroSys '23) evaluation figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available figures")
+    claims = sub.add_parser(
+        "claims", help="grade every headline claim (reproduction scorecard)"
+    )
+    claims.add_argument("--duration", type=float, default=2.5e-3,
+                        help="virtual seconds per configuration")
+    run = sub.add_parser("run", help="run one figure (or 'all')")
+    run.add_argument("figure", help="figure name from 'list', or 'all'")
+    run.add_argument("--duration", type=float, default=None,
+                     help="virtual seconds per configuration")
+    run.add_argument("--format", choices=("table", "markdown"),
+                     default="table", help="output format")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        width = max(len(name) for name in FIGURES)
+        for name, (_fn, description, _d) in FIGURES.items():
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+
+    if args.command == "claims":
+        from repro.harness.claims import evaluate_claims
+
+        report = evaluate_claims(duration=args.duration)
+        print(report.render())
+        return 0 if report.passed == report.total else 1
+
+    if args.figure == "all":
+        for name in FIGURES:
+            _run_one(name, args.duration, args.format)
+        return 0
+    if args.figure not in FIGURES:
+        print(f"unknown figure {args.figure!r}; try 'python -m repro list'",
+              file=sys.stderr)
+        return 2
+    _run_one(args.figure, args.duration, args.format)
+    return 0

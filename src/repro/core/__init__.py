@@ -1,0 +1,39 @@
+"""Rio: the paper's contribution — an order-preserving I/O pipeline.
+
+The pieces (paper §4):
+
+* :mod:`repro.core.attributes` — the ordering attribute: each ordered write
+  request's identity (seq/prev/num/persist/LBA/split/ipu), carried through
+  the whole stack and persisted in PMR (§4.2, Figure 5).
+* :mod:`repro.core.sequencer` — the Rio sequencer shim between file system
+  and block layer: creates attributes from submission order and completes
+  requests back to the caller *in order* (§4.1 steps ②/⑨).
+* :mod:`repro.core.scheduler` — the Rio I/O scheduler: per-stream ORDER
+  queues, stream→NIC-queue affinity, request merging and splitting
+  (§4.5, Figures 7–8).
+* :mod:`repro.core.target` — the Rio target policy: in-order submission to
+  the SSD and persistent ordering attributes in the PMR circular log
+  (§4.3, Figure 4 steps ⑤⑥⑦).
+* :mod:`repro.core.recovery` — crash recovery: rebuild per-server lists,
+  merge into the global list, roll back or replay (§4.4, Figure 6).
+* :mod:`repro.core.api` — the programming model: ``rio_setup``,
+  ``rio_submit``, ``rio_wait`` (§4.6).
+"""
+
+from repro.core.api import RioDevice
+from repro.core.attributes import OrderingAttribute
+from repro.core.recovery import RecoveryReport, RioRecovery
+from repro.core.scheduler import RioIoScheduler
+from repro.core.sequencer import RioSequencer
+from repro.core.target import AttributeLog, RioTargetPolicy
+
+__all__ = [
+    "OrderingAttribute",
+    "RioSequencer",
+    "RioIoScheduler",
+    "RioTargetPolicy",
+    "AttributeLog",
+    "RioRecovery",
+    "RecoveryReport",
+    "RioDevice",
+]

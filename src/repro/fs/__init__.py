@@ -1,0 +1,30 @@
+"""File systems atop the ordered stacks (§4.7).
+
+One journaling file-system implementation
+(:class:`~repro.fs.filesystem.SimFileSystem`) is parameterized into the
+paper's three compared systems (§6.1):
+
+* **Ext4** — a single shared journal (JBD2-style group commit) over the
+  synchronous Linux ordered stack;
+* **HoraeFS** — per-core journals (iJournaling) over the HORAE control
+  path;
+* **RioFS** — per-core journals over Rio streams: all ordering FLUSHes and
+  synchronous transfers replaced by ``rio_submit`` groups.
+
+All three share the same code base, metadata journaling and journal-space
+budget, mirroring "all three file systems are based on the same codebase of
+Ext4" (§6.1).
+"""
+
+from repro.fs.filesystem import SimFileSystem, make_filesystem
+from repro.fs.journal import Journal, Transaction
+from repro.fs.recovery import FsRecoveryReport, recover_filesystem
+
+__all__ = [
+    "SimFileSystem",
+    "make_filesystem",
+    "Journal",
+    "Transaction",
+    "FsRecoveryReport",
+    "recover_filesystem",
+]

@@ -1,0 +1,347 @@
+"""A journaling file system over the ordered stacks.
+
+:class:`SimFileSystem` implements the VFS surface the benchmarks need —
+create / append / overwrite / fsync / read / unlink — with buffered writes
+(page cache), metadata journaling through :class:`~repro.fs.journal.Journal`,
+and the three consistency special cases of §4.4.2/§4.7:
+
+* normal in-place updates are tagged ``ipu`` so Rio's recovery leaves them
+  to the file system;
+* block reuse (allocating from the free list) regresses to the classic
+  FLUSH, as RioFS does;
+* everything else is out-of-place (journal writes, fresh allocations).
+
+``make_filesystem("ext4" | "horaefs" | "riofs", cluster)`` builds the three
+compared systems: one shared journal + Linux stack for Ext4, per-core
+journals (iJournaling) + HORAE control path for HoraeFS, per-core journals
++ Rio streams for RioFS (§6.1).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.cluster import Cluster
+from repro.fs.journal import Journal, Transaction
+from repro.hw.cpu import Core
+from repro.sim.engine import Environment, Event
+from repro.sim.stats import LatencyRecorder
+from repro.systems.base import OrderedStack, make_stack
+
+__all__ = ["SimFileSystem", "File", "make_filesystem"]
+
+BLOCK = 4096
+
+#: CPU costs of in-memory file-system work.
+INODE_UPDATE_COST = 0.3e-6
+PAGE_CACHE_COST_PER_BLOCK = 0.25e-6
+LOOKUP_COST = 0.2e-6
+
+
+@dataclass
+class File:
+    """An open file: inode + buffered state."""
+
+    name: str
+    inode_lba: int
+    size_blocks: int = 0
+    blocks: List[int] = field(default_factory=list)
+    #: Dirty extents awaiting fsync: (lba, nblocks, payload, ipu).
+    dirty: List[Tuple[int, int, List[Any], bool]] = field(default_factory=list)
+    metadata_dirty: bool = True
+    reused_blocks: bool = False
+    version: int = 0
+
+
+class SimFileSystem:
+    """The shared file-system implementation (Ext4/HoraeFS/RioFS bases)."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        stack: OrderedStack,
+        num_journals: int = 1,
+        journal_total_blocks: int = 262_144,  # 1 GB, as in §6.1
+        metadata_region_blocks: int = 1 << 20,
+        name: str = "simfs",
+        sync_data_group: bool = False,
+    ):
+        if num_journals < 1:
+            raise ValueError("need at least one journal")
+        self.cluster = cluster
+        self.env: Environment = cluster.env
+        self.stack = stack
+        self.name = name
+        self.num_journals = num_journals
+
+        area = max(64, journal_total_blocks // num_journals)
+        journal_base = metadata_region_blocks
+        self.journals: List[Journal] = [
+            Journal(
+                self.env,
+                stack,
+                core=cluster.initiator.cpus.pick(i),
+                stream_id=i,
+                area_start=journal_base + i * area,
+                area_blocks=area,
+                name=f"{name}-journal{i}",
+                sync_data_group=sync_data_group,
+            )
+            for i in range(num_journals)
+        ]
+        self._data_base = journal_base + num_journals * area
+        self._next_data_block = self._data_base
+        self._free_blocks: List[int] = []
+        self._next_inode_lba = 8  # 0..7 reserved for the superblock etc.
+        self._root_dir_lba = 4
+        self.files: Dict[str, File] = {}
+        self.fsync_latency = LatencyRecorder()
+        self.fsyncs = 0
+        #: Clean-page cache (LRU over block lbas); dirty data lives in the
+        #: per-file dirty lists until fsync.
+        self._page_cache: "OrderedDict[int, bool]" = OrderedDict()
+        self.page_cache_capacity = 16_384  # 64 MB of 4 KB pages
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # Namespace operations
+    # ------------------------------------------------------------------
+
+    def create(self, core: Core, name: str):
+        """Generator: create a file (metadata buffered until fsync)."""
+        if name in self.files:
+            raise FileExistsError(name)
+        yield from core.run(LOOKUP_COST + INODE_UPDATE_COST)
+        file = File(name=name, inode_lba=self._next_inode_lba)
+        self._next_inode_lba += 1
+        self.files[name] = file
+        return file
+
+    def lookup(self, core: Core, name: str):
+        """Generator: path lookup."""
+        yield from core.run(LOOKUP_COST)
+        return self.files.get(name)
+
+    def unlink(self, core: Core, name: str):
+        """Generator: remove a file; its blocks return to the free list."""
+        file = self.files.pop(name, None)
+        if file is None:
+            raise FileNotFoundError(name)
+        yield from core.run(LOOKUP_COST + INODE_UPDATE_COST)
+        self._free_blocks.extend(file.blocks)
+        return file
+
+    def rename(self, core: Core, old_name: str, new_name: str):
+        """Generator: rename a file (a pure metadata transaction)."""
+        file = self.files.get(old_name)
+        if file is None:
+            raise FileNotFoundError(old_name)
+        if new_name in self.files:
+            raise FileExistsError(new_name)
+        yield from core.run(2 * LOOKUP_COST + INODE_UPDATE_COST)
+        del self.files[old_name]
+        file.name = new_name
+        file.version += 1
+        file.metadata_dirty = True  # directory + inode update to journal
+        self.files[new_name] = file
+        return file
+
+    def truncate(self, core: Core, file: File, new_size_blocks: int):
+        """Generator: shrink a file; freed blocks go to the free list
+        (their later reallocation is block reuse, §4.4.2)."""
+        if new_size_blocks < 0 or new_size_blocks > file.size_blocks:
+            raise ValueError("truncate can only shrink")
+        yield from core.run(INODE_UPDATE_COST)
+        freed = file.blocks[new_size_blocks:]
+        file.blocks = file.blocks[:new_size_blocks]
+        file.size_blocks = new_size_blocks
+        freed_set = set(freed)
+        file.dirty = [
+            (lba, nblocks, payload, ipu)
+            for lba, nblocks, payload, ipu in file.dirty
+            if lba not in freed_set
+        ]
+        self._free_blocks.extend(freed)
+        file.version += 1
+        file.metadata_dirty = True
+        return len(freed)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    def _allocate(self, nblocks: int) -> Tuple[List[int], bool]:
+        """Allocate data blocks; returns (blocks, any_reused)."""
+        blocks: List[int] = []
+        reused = False
+        while nblocks > 0 and self._free_blocks:
+            blocks.append(self._free_blocks.pop())
+            reused = True
+            nblocks -= 1
+        if nblocks > 0:
+            blocks.extend(
+                range(self._next_data_block, self._next_data_block + nblocks)
+            )
+            self._next_data_block += nblocks
+        return blocks, reused
+
+    def append(self, core: Core, file: File, nblocks: int = 1):
+        """Generator: buffered append (page-cache write, no I/O yet)."""
+        yield from core.run(
+            PAGE_CACHE_COST_PER_BLOCK * nblocks + INODE_UPDATE_COST
+        )
+        blocks, reused = self._allocate(nblocks)
+        file.version += 1
+        payload = [(file.name, file.size_blocks + i, file.version)
+                   for i in range(nblocks)]
+        file.blocks.extend(blocks)
+        file.size_blocks += nblocks
+        file.reused_blocks = file.reused_blocks or reused
+        file.metadata_dirty = True
+        self._add_dirty(file, blocks, payload, ipu=False)
+
+    def overwrite(self, core: Core, file: File, block_offset: int,
+                  nblocks: int = 1):
+        """Generator: buffered in-place overwrite (a *normal IPU*)."""
+        if block_offset + nblocks > file.size_blocks:
+            raise ValueError("overwrite beyond EOF")
+        yield from core.run(
+            PAGE_CACHE_COST_PER_BLOCK * nblocks + INODE_UPDATE_COST
+        )
+        file.version += 1
+        file.metadata_dirty = True  # mtime/version update
+        blocks = file.blocks[block_offset : block_offset + nblocks]
+        payload = [(file.name, block_offset + i, file.version)
+                   for i in range(nblocks)]
+        self._add_dirty(file, blocks, payload, ipu=True)
+
+    @staticmethod
+    def _add_dirty(file: File, blocks: List[int], payload: List[Any],
+                   ipu: bool) -> None:
+        # Coalesce contiguous runs so the stack sees extent-sized bios.
+        run_start = 0
+        for i in range(1, len(blocks) + 1):
+            if i == len(blocks) or blocks[i] != blocks[i - 1] + 1:
+                file.dirty.append(
+                    (
+                        blocks[run_start],
+                        i - run_start,
+                        payload[run_start:i],
+                        ipu,
+                    )
+                )
+                run_start = i
+
+    def _cache_lookup(self, lba: int) -> bool:
+        if lba in self._page_cache:
+            self._page_cache.move_to_end(lba)
+            return True
+        return False
+
+    def _cache_insert(self, lba: int) -> None:
+        self._page_cache[lba] = True
+        self._page_cache.move_to_end(lba)
+        while len(self._page_cache) > self.page_cache_capacity:
+            self._page_cache.popitem(last=False)
+
+    def read(self, core: Core, file: File, block_offset: int, nblocks: int):
+        """Generator: read file blocks through the page cache.
+
+        Dirty data and cached clean pages are CPU-only hits; everything
+        else is fetched from the device and inserted into the LRU cache.
+        """
+        yield from core.run(PAGE_CACHE_COST_PER_BLOCK * nblocks)
+        dirty_lbas = {lba + i for lba, n, _p, _ipu in file.dirty for i in range(n)}
+        wanted = file.blocks[block_offset : block_offset + nblocks]
+        missing = []
+        for lba in wanted:
+            if lba in dirty_lbas or self._cache_lookup(lba):
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+                missing.append(lba)
+        if missing:
+            done, bio = yield from self.stack.read(
+                core, 0, lba=missing[0], nblocks=len(missing)
+            )
+            yield done
+            for lba in missing:
+                self._cache_insert(lba)
+        return nblocks
+
+    # ------------------------------------------------------------------
+    # fsync (the measured operation)
+    # ------------------------------------------------------------------
+
+    def journal_for(self, thread_id: int) -> Journal:
+        return self.journals[thread_id % len(self.journals)]
+
+    def fsync(self, core: Core, file: File, thread_id: int = 0):
+        """Generator: make the file durable via metadata journaling."""
+        started = self.env.now
+        yield from core.run(INODE_UPDATE_COST)
+        txn = Transaction()
+        txn.data_extents = file.dirty
+        file.dirty = []
+        txn.block_reuse = file.reused_blocks
+        file.reused_blocks = False
+        if file.metadata_dirty:
+            # The journaled inode carries everything recovery needs to
+            # rebuild the file: name, version, and the block map.
+            txn.metadata_blocks.append(
+                (
+                    file.inode_lba,
+                    ("inode", file.name, file.version, tuple(file.blocks)),
+                )
+            )
+            txn.metadata_blocks.append(
+                (self._root_dir_lba, ("dir", file.name, file.version))
+            )
+            file.metadata_dirty = False
+        if not txn.data_extents and not txn.metadata_blocks:
+            return 0.0  # nothing to do
+        journal = self.journal_for(thread_id)
+        done = journal.submit(txn)
+        yield done
+        latency = self.env.now - started
+        self.fsync_latency.record(latency)
+        self.fsyncs += 1
+        return latency
+
+
+def make_filesystem(
+    kind: str,
+    cluster: Cluster,
+    volume=None,
+    num_journals: Optional[int] = None,
+    **kwargs,
+) -> SimFileSystem:
+    """Build one of the three compared file systems (§6.1).
+
+    ``ext4``    — single journal over the Linux ordered stack;
+    ``horaefs`` — per-core journals (iJournaling) over HORAE;
+    ``riofs``   — per-core journals over Rio streams (24 by default, as in
+    the paper's evaluation).
+    """
+    kinds = {
+        "ext4": ("linux", 1),
+        "horaefs": ("horae", 24),
+        "riofs": ("rio", 24),
+    }
+    if kind not in kinds:
+        raise ValueError(f"unknown file system: {kind!r} (have {sorted(kinds)})")
+    stack_name, default_journals = kinds[kind]
+    journals = num_journals or default_journals
+    stack = make_stack(stack_name, cluster, volume, num_streams=journals)
+    return SimFileSystem(
+        cluster,
+        stack,
+        num_journals=journals,
+        name=kind,
+        # Ext4's ordered mode completes data writeback before journaling.
+        sync_data_group=(kind == "ext4"),
+        **kwargs,
+    )

@@ -1,0 +1,26 @@
+"""Experiment harness: one entry point per paper table/figure.
+
+Each ``figXX`` function in :mod:`repro.harness.figures` builds a fresh
+simulated testbed, runs the paper's workload for that figure, and returns a
+:class:`~repro.harness.experiment.FigureResult` whose rows mirror the
+figure's series.  The ``benchmarks/`` directory calls these with reduced
+windows; pass larger ``duration``/thread lists for higher-fidelity runs.
+"""
+
+from repro.harness.experiment import (
+    FigureResult,
+    build_cluster,
+    build_stack,
+    fio_run,
+    LAYOUTS,
+)
+from repro.harness import figures
+
+__all__ = [
+    "FigureResult",
+    "build_cluster",
+    "build_stack",
+    "fio_run",
+    "LAYOUTS",
+    "figures",
+]

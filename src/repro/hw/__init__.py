@@ -1,0 +1,28 @@
+"""Hardware models: CPU cores, NVMe SSDs, PMR, RDMA NICs.
+
+Every model charges virtual time (and CPU busy time where appropriate) that
+is calibrated from the paper's testbed (§6.1): Intel Xeon Gold 5220 servers,
+Samsung PM981 flash SSDs, Intel 905P / P4800X Optane SSDs, 2 MB PMR with a
+0.6 µs 32 B persistent-MMIO write, and 200 Gbps ConnectX-6 RDMA NICs.
+"""
+
+from repro.hw.cpu import Core, CpuSet
+from repro.hw.pmr import PersistentMemoryRegion
+from repro.hw.ssd import (
+    FLASH_PM981,
+    OPTANE_905P,
+    OPTANE_P4800X,
+    NvmeSsd,
+    SsdProfile,
+)
+
+__all__ = [
+    "Core",
+    "CpuSet",
+    "PersistentMemoryRegion",
+    "NvmeSsd",
+    "SsdProfile",
+    "FLASH_PM981",
+    "OPTANE_905P",
+    "OPTANE_P4800X",
+]

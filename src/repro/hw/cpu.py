@@ -1,0 +1,113 @@
+"""CPU core models with busy-time accounting.
+
+The paper's CPU-efficiency metric (§6.1) is throughput divided by CPU
+utilization as reported by ``top``.  We reproduce it by charging every piece
+of software work (block layer, driver command building, RDMA posts,
+interrupt handlers, MMIO persists, file-system logic) to a :class:`Core`,
+which serializes work on that core and integrates busy time into a per-core
+:class:`~repro.sim.stats.BusyTracker`.
+
+Utilization for a server is expressed in *busy cores* (the sum of per-core
+utilizations, like summing ``top``'s per-core percentages), so "CPU
+efficiency" is operations per second per busy core.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource
+from repro.sim.stats import BusyTracker
+
+__all__ = ["Core", "CpuSet", "CONTEXT_SWITCH_COST"]
+
+#: One sleep/wake transition on a ~2.2 GHz Xeon (seconds).  Synchronous
+#: ordering pays two of these per wait; this is part of the per-operation
+#: software cost the paper's Lesson 3 (§3.2) is about.
+CONTEXT_SWITCH_COST = 1.5e-6
+
+
+class Core:
+    """A single CPU core: a serial execution resource with busy accounting."""
+
+    def __init__(self, env: Environment, index: int):
+        self.env = env
+        self.index = index
+        self.tracker = BusyTracker(env)
+        self._resource = Resource(env, capacity=1)
+
+    def run(self, duration: float):
+        """Generator: occupy this core for ``duration`` seconds of work.
+
+        Usage: ``yield from core.run(0.5e-6)``.  Work on the same core is
+        serialized FIFO; busy time accrues only while work actually runs.
+        """
+        if duration < 0:
+            raise ValueError(f"negative CPU work: {duration}")
+        yield self._resource.request()
+        self.tracker.begin()
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.tracker.end()
+            self._resource.release()
+
+    def context_switch(self):
+        """Generator: charge one sleep/wake context-switch pair."""
+        yield from self.run(2 * CONTEXT_SWITCH_COST)
+
+    @property
+    def queued_work(self) -> int:
+        """Number of work items waiting for this core."""
+        return self._resource.queued
+
+    def __repr__(self) -> str:
+        return f"<Core {self.index}>"
+
+
+class CpuSet:
+    """All cores of one server.
+
+    ``pick(i)`` wraps around, so workloads can pin thread *i* to core
+    ``i % ncores`` the way the paper's FIO/db_bench threads land on cores.
+    """
+
+    def __init__(self, env: Environment, ncores: int, name: str = "cpu"):
+        if ncores < 1:
+            raise ValueError("a server needs at least one core")
+        self.env = env
+        self.name = name
+        self.cores: List[Core] = [Core(env, i) for i in range(ncores)]
+
+    def __len__(self) -> int:
+        return len(self.cores)
+
+    def pick(self, index: int) -> Core:
+        return self.cores[index % len(self.cores)]
+
+    def least_loaded(self) -> Core:
+        """The core with the shortest run queue (ties: lowest index)."""
+        return min(self.cores, key=lambda core: (core.queued_work, core.index))
+
+    # -- measurement -------------------------------------------------------
+
+    def start_window(self) -> None:
+        for core in self.cores:
+            core.tracker.start_window()
+
+    def stop_window(self) -> None:
+        for core in self.cores:
+            core.tracker.stop_window()
+
+    def busy_time(self) -> float:
+        """Total busy core-seconds inside the measurement window."""
+        return sum(core.tracker.busy_time for core in self.cores)
+
+    def busy_cores(self, elapsed: Optional[float] = None) -> float:
+        """Average number of simultaneously busy cores over the window."""
+        if elapsed is not None:
+            if elapsed <= 0:
+                return 0.0
+            return self.busy_time() / elapsed
+        return sum(core.tracker.utilization() for core in self.cores)

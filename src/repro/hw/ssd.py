@@ -1,0 +1,560 @@
+"""NVMe SSD models: multi-queue, write cache, FLUSH, PLP, crash semantics.
+
+Three device profiles reproduce the paper's testbed (§6.1):
+
+* :data:`FLASH_PM981` — Samsung PM981.  A client flash SSD with a *volatile*
+  write cache and **no** power-loss protection.  Writes complete once data
+  lands in the cache; persistence happens as the cache drains to flash in
+  the background, in no particular order ("the NVMe SSD may freely re-order
+  requests", §2.2).  A FLUSH command is a device-wide synchronous drain of
+  everything admitted before it, plus FTL-mapping persistence — the
+  "prohibitive" barrier of Lesson 1 (§3.2).
+
+* :data:`OPTANE_905P` / :data:`OPTANE_P4800X` — Intel Optane SSDs with
+  power-loss protection: data is durable as soon as the completion is
+  reported, and FLUSH is (nearly) free (Lesson 2).
+
+Performance is governed by three mechanisms, matching how real devices
+behave: a per-command concurrency limit (``chips`` — channel/CMB
+parallelism, capping IOPS), a serialized media pipe (capping bandwidth) and
+a fixed per-command latency.
+
+Crash semantics: :meth:`NvmeSsd.crash` discards the volatile cache and all
+in-flight commands while preserving durable media, which is exactly the
+post-crash state space of §4.8.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.sim.engine import Environment, Event
+from repro.sim.resources import Resource
+from repro.sim.rng import DeterministicRNG
+
+__all__ = [
+    "SsdProfile",
+    "DiskIO",
+    "NvmeSsd",
+    "CrashedError",
+    "FLASH_PM981",
+    "OPTANE_905P",
+    "OPTANE_P4800X",
+    "OPTANE_P5800X",
+    "BLOCK_SIZE",
+]
+
+#: Logical block size used throughout the reproduction (bytes).
+BLOCK_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class SsdProfile:
+    """Latency/bandwidth/durability parameters of one SSD model."""
+
+    name: str
+    #: Power-loss protection: data durable at completion, FLUSH free.
+    plp: bool
+    #: Fixed per-command service latency (seconds).
+    write_latency: float
+    read_latency: float
+    #: Host interface (PCIe DMA) bandwidth in bytes/second.
+    interface_bandwidth: float
+    #: Aggregate media program bandwidth in bytes/second (drain rate for
+    #: cached flash, direct write rate for Optane).
+    media_bandwidth: float
+    #: Concurrent command slots (channel parallelism).
+    chips: int
+    #: Volatile write cache capacity in bytes (0 for PLP devices).
+    cache_capacity: int
+    #: Fixed FLUSH overhead (FTL mapping persistence etc.), seconds.
+    flush_base_latency: float
+    #: Maximum transfer size of a single command (bytes) — requests larger
+    #: than this must be split by the block layer (§4.5).
+    max_transfer: int
+
+    def __post_init__(self):
+        if self.plp and self.cache_capacity:
+            raise ValueError("PLP profiles model no volatile cache")
+
+
+FLASH_PM981 = SsdProfile(
+    name="PM981-flash",
+    plp=False,
+    write_latency=15e-6,
+    read_latency=80e-6,
+    interface_bandwidth=3.2e9,
+    media_bandwidth=2.0e9,
+    chips=8,
+    cache_capacity=64 * 1024 * 1024,
+    flush_base_latency=350e-6,
+    max_transfer=512 * 1024,
+)
+
+OPTANE_905P = SsdProfile(
+    name="905P-optane",
+    plp=True,
+    write_latency=10e-6,
+    read_latency=10e-6,
+    interface_bandwidth=2.6e9,
+    media_bandwidth=2.2e9,
+    chips=7,
+    cache_capacity=0,
+    flush_base_latency=1e-6,
+    max_transfer=128 * 1024,
+)
+
+#: A PCIe 4.0-class drive (Intel P5800X), used by the sensitivity study:
+#: the paper predicts that "for storage arrays and newer and faster SSDs
+#: … [synchronous ordering] needs more computation resources" (§3.1).
+OPTANE_P5800X = SsdProfile(
+    name="P5800X-optane",
+    plp=True,
+    write_latency=5e-6,
+    read_latency=5e-6,
+    interface_bandwidth=7.0e9,
+    media_bandwidth=6.2e9,
+    chips=10,
+    cache_capacity=0,
+    flush_base_latency=1e-6,
+    max_transfer=128 * 1024,
+)
+
+OPTANE_P4800X = SsdProfile(
+    name="P4800X-optane",
+    plp=True,
+    write_latency=10e-6,
+    read_latency=10e-6,
+    interface_bandwidth=2.4e9,
+    media_bandwidth=2.0e9,
+    chips=7,
+    cache_capacity=0,
+    flush_base_latency=1e-6,
+    max_transfer=128 * 1024,
+)
+
+
+@dataclass
+class DiskIO:
+    """One command at the SSD interface.
+
+    ``payload`` optionally carries one opaque object per block so file-system
+    and recovery tests can verify *content*, not just completion.
+
+    ``barrier`` marks a barrier write (the BarrierFS / barrier-enabled-SSD
+    interface of §2.2): barrier writes persist in submission order relative
+    to each other, without a FLUSH — at the cost of serializing them
+    through the device.
+    """
+
+    op: str  # "write" | "read" | "flush"
+    lba: int = 0
+    nblocks: int = 0
+    payload: Optional[List[Any]] = None
+    fua: bool = False
+    barrier: bool = False
+
+    def __post_init__(self):
+        if self.op not in ("write", "read", "flush"):
+            raise ValueError(f"unknown SSD op: {self.op}")
+        if self.op != "flush" and self.nblocks <= 0:
+            raise ValueError("read/write needs nblocks >= 1")
+        if self.payload is not None and len(self.payload) != self.nblocks:
+            raise ValueError("payload length must equal nblocks")
+
+    @property
+    def nbytes(self) -> int:
+        return self.nblocks * BLOCK_SIZE
+
+
+@dataclass
+class _CacheEntry:
+    seq: int
+    lba: int
+    payload: Any
+    version: int
+    barrier: bool = False
+
+
+class CrashedError(Exception):
+    """Raised for commands submitted to (or in flight on) a crashed SSD."""
+
+
+class NvmeSsd:
+    """One simulated NVMe SSD (a single namespace)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        profile: SsdProfile,
+        rng: Optional[DeterministicRNG] = None,
+        name: str = "ssd",
+    ):
+        self.env = env
+        self.profile = profile
+        self.name = name
+        self.rng = rng or DeterministicRNG(7).fork(name)
+        # Durable state: survives crashes.
+        self._media: Dict[int, Any] = {}
+        self._media_version: Dict[int, int] = {}
+        self._version_counter = 0
+        self.crashed = False
+        self._epoch = 0
+        self.commands_served = 0
+        self.flushes_served = 0
+        self._init_volatile()
+
+    # ------------------------------------------------------------------
+    # Volatile machinery (rebuilt on every power cycle)
+    # ------------------------------------------------------------------
+
+    def _init_volatile(self) -> None:
+        env = self.env
+        self._slots = Resource(env, capacity=self.profile.chips)
+        self._interface = Resource(env, capacity=1)
+        self._media_pipe = Resource(env, capacity=1)
+        #: Barrier writes serialize through one lane (order = persistence
+        #: order); this is the §2.2 cost of the barrier interface.
+        self._barrier_lane = Resource(env, capacity=1)
+        self._barrier_fifo: deque = deque()
+        self._cache: Dict[int, _CacheEntry] = {}
+        self._drain_queue: deque = deque()
+        self._cache_bytes = 0
+        self._cache_seq = 0
+        self._drained_below = 0  # all cache seqs < this are durable
+        self._pending_drain_seqs: Set[int] = set()
+        self._space_waiters: List[Tuple[int, Event]] = []
+        self._drain_waiters: List[Tuple[int, Event]] = []
+        self._drain_kick: Optional[Event] = None
+        if not self.profile.plp and self.profile.cache_capacity:
+            env.process(self._drain_loop(self._epoch))
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+
+    def submit(self, io: DiskIO) -> Event:
+        """Submit a command; returns an event firing at completion.
+
+        The completion event's value is the :class:`DiskIO` itself (reads
+        get their ``payload`` filled in).  Commands in flight during a crash
+        never complete, as on real hardware.
+        """
+        done = Event(self.env)
+        if self.crashed:
+            done.fail(CrashedError(f"{self.name} is crashed"))
+            return done
+        self.env.process(self._serve(io, done, self._epoch))
+        return done
+
+    def crash(self) -> None:
+        """Power failure: lose the volatile cache and in-flight commands."""
+        self.crashed = True
+        self._epoch += 1
+
+    def restart(self) -> None:
+        """Power the device back on; durable media is preserved."""
+        if not self.crashed:
+            raise RuntimeError(f"{self.name} is not crashed")
+        self.crashed = False
+        self._init_volatile()
+
+    # -- ground-truth inspection (used by recovery logic and tests) --------
+
+    def durable_payload(self, lba: int) -> Any:
+        """Content of ``lba`` on persistent media (None if never persisted)."""
+        return self._media.get(lba)
+
+    def durable_version(self, lba: int) -> int:
+        """Monotonic version of the durable content at ``lba`` (0 = never)."""
+        return self._media_version.get(lba, 0)
+
+    def is_durable(self, lba: int, min_version: int = 1) -> bool:
+        return self._media_version.get(lba, 0) >= min_version
+
+    def current_payload(self, lba: int) -> Any:
+        """Content a read would return right now (cache overrides media)."""
+        entry = self._cache.get(lba)
+        if entry is not None:
+            return entry.payload
+        return self._media.get(lba)
+
+    def discard(self, lba: int, nblocks: int = 1) -> None:
+        """Erase blocks (used by recovery roll-back; instantaneous here —
+        the I/O cost is charged by the recovery harness)."""
+        for block in range(lba, lba + nblocks):
+            self._media.pop(block, None)
+            self._media_version.pop(block, None)
+            self._cache.pop(block, None)
+
+    @property
+    def dirty_bytes(self) -> int:
+        return self._cache_bytes
+
+    # ------------------------------------------------------------------
+    # Command service
+    # ------------------------------------------------------------------
+
+    def _serve(self, io: DiskIO, done: Event, epoch: int):
+        try:
+            if io.op == "flush":
+                yield from self._serve_flush(epoch)
+            elif io.op == "write":
+                yield from self._serve_write(io, epoch)
+            else:
+                yield from self._serve_read(io, epoch)
+        except CrashedError:
+            # In-flight during a power failure: on real hardware nobody
+            # ever sees this completion — the event silently never fires.
+            return
+        if epoch != self._epoch:
+            return  # crashed while in flight: never complete
+        self.commands_served += 1
+        self.env.trace("ssd", io.op, dev=self.name, lba=io.lba, n=io.nblocks)
+        done.succeed(io)
+
+    def _check_epoch(self, epoch: int) -> None:
+        if epoch != self._epoch:
+            raise CrashedError(f"{self.name} crashed mid-command")
+
+    def _serve_write(self, io: DiskIO, epoch: int):
+        profile = self.profile
+        # Concurrency slot (channel parallelism).
+        yield self._slots.request()
+        try:
+            # Host DMA over the interface.
+            yield self._interface.request()
+            try:
+                yield self.env.timeout(io.nbytes / profile.interface_bandwidth)
+            finally:
+                self._interface.release()
+            self._check_epoch(epoch)
+
+            if profile.plp:
+                # Straight to persistent media.  Barrier writes serialize
+                # through one lane so their persistence order matches
+                # their submission order (§2.2's barrier interface).
+                if io.barrier:
+                    yield self._barrier_lane.request()
+                try:
+                    yield self._media_pipe.request()
+                    try:
+                        yield self.env.timeout(
+                            io.nbytes / profile.media_bandwidth
+                        )
+                    finally:
+                        self._media_pipe.release()
+                    self._check_epoch(epoch)
+                    yield self.env.timeout(
+                        self.rng.jitter(profile.write_latency, 0.05)
+                    )
+                    self._check_epoch(epoch)
+                    self._persist_blocks(io)
+                finally:
+                    if io.barrier and epoch == self._epoch:
+                        self._barrier_lane.release()
+            else:
+                # Into the volatile write cache (waiting for space if full).
+                yield from self._wait_for_cache_space(io.nbytes, epoch)
+                yield self.env.timeout(
+                    self.rng.jitter(profile.write_latency, 0.05)
+                )
+                self._check_epoch(epoch)
+                self._insert_cache(io, barrier=io.barrier)
+                if io.fua:
+                    # Force-unit-access: durable before completing.
+                    yield from self._serve_flush(epoch)
+        finally:
+            if epoch == self._epoch:
+                self._slots.release()
+
+    def _serve_read(self, io: DiskIO, epoch: int):
+        profile = self.profile
+        yield self._slots.request()
+        try:
+            yield self.env.timeout(self.rng.jitter(profile.read_latency, 0.05))
+            self._check_epoch(epoch)
+            yield self._interface.request()
+            try:
+                yield self.env.timeout(io.nbytes / profile.interface_bandwidth)
+            finally:
+                self._interface.release()
+            self._check_epoch(epoch)
+            io.payload = [
+                self.current_payload(lba) for lba in range(io.lba, io.lba + io.nblocks)
+            ]
+        finally:
+            if epoch == self._epoch:
+                self._slots.release()
+
+    def _serve_flush(self, epoch: int):
+        self.flushes_served += 1
+        if self.profile.plp or not self.profile.cache_capacity:
+            yield self.env.timeout(self.profile.flush_base_latency)
+            self._check_epoch(epoch)
+            return
+        # Snapshot: everything admitted so far must drain before we return.
+        barrier_seq = self._cache_seq
+        if self._lowest_undrained() < barrier_seq:
+            waiter = Event(self.env)
+            self._drain_waiters.append((barrier_seq, waiter))
+            self._kick_drain()
+            yield waiter
+            self._check_epoch(epoch)
+        yield self.env.timeout(
+            self.rng.jitter(self.profile.flush_base_latency, 0.1)
+        )
+        self._check_epoch(epoch)
+
+    # ------------------------------------------------------------------
+    # Volatile write cache + background drain
+    # ------------------------------------------------------------------
+
+    def _wait_for_cache_space(self, nbytes: int, epoch: int):
+        while self._cache_bytes + nbytes > self.profile.cache_capacity:
+            self._check_epoch(epoch)
+            waiter = Event(self.env)
+            self._space_waiters.append((nbytes, waiter))
+            self._kick_drain()
+            yield waiter
+        self._check_epoch(epoch)
+
+    def _insert_cache(self, io: DiskIO, barrier: bool = False) -> None:
+        for offset in range(io.nblocks):
+            lba = io.lba + offset
+            payload = io.payload[offset] if io.payload is not None else None
+            self._version_counter += 1
+            old = self._cache.get(lba)
+            if old is not None:
+                # Overwrite in cache: the new copy inherits the old entry's
+                # flush obligation (a FLUSH issued after the old write must
+                # not return until this LBA has a durable copy).
+                seq = old.seq
+                self._cache_seq += 1  # keep seq numbering monotonic overall
+            else:
+                self._cache_bytes += BLOCK_SIZE
+                seq = self._cache_seq
+                self._cache_seq += 1
+            entry = _CacheEntry(
+                seq=seq,
+                lba=lba,
+                payload=payload,
+                version=self._version_counter,
+                barrier=barrier,
+            )
+            self._cache[lba] = entry
+            if barrier:
+                self._barrier_fifo.append(entry)
+            else:
+                self._drain_queue.append(entry)
+            self._pending_drain_seqs.add(entry.seq)
+        self._kick_drain()
+
+    def _lowest_undrained(self) -> int:
+        if not self._pending_drain_seqs:
+            return self._cache_seq
+        return min(self._pending_drain_seqs)
+
+    def _kick_drain(self) -> None:
+        if self._drain_kick is not None and not self._drain_kick.triggered:
+            self._drain_kick.succeed()
+
+    def _drain_loop(self, epoch: int):
+        """Continuously move dirty cache entries to flash, media-bandwidth
+        limited, in a randomized order (the SSD is free to reorder)."""
+        drain_window = 32
+        batch_blocks = 16
+        while epoch == self._epoch:
+            if not self._drain_queue and not self._barrier_fifo:
+                self._drain_kick = Event(self.env)
+                yield self._drain_kick
+                continue
+            # Barrier writes drain strictly FIFO (their contract, §2.2);
+            # they take priority so the order chain keeps moving.
+            batch: List[_CacheEntry] = []
+            while self._barrier_fifo and len(batch) < batch_blocks:
+                entry = self._barrier_fifo[0]
+                live = self._cache.get(entry.lba)
+                if live is entry:
+                    batch.append(entry)
+                    self._barrier_fifo.popleft()
+                elif live is not None and live.seq == entry.seq:
+                    break  # superseded mid-drain: successor keeps the slot
+                else:
+                    self._pending_drain_seqs.discard(entry.seq)
+                    self._barrier_fifo.popleft()
+            # Fill the rest with a randomized window of normal entries
+            # (the SSD is free to reorder those).  Superseded entries
+            # (overwritten in cache) are retired for free.
+            window: List[_CacheEntry] = []
+            while self._drain_queue and len(window) + len(batch) < drain_window:
+                entry = self._drain_queue.popleft()
+                live = self._cache.get(entry.lba)
+                if live is entry:
+                    window.append(entry)
+                elif live is None or live.seq != entry.seq:
+                    # Stale node with no live successor carrying its seq.
+                    self._pending_drain_seqs.discard(entry.seq)
+            if not window and not batch:
+                self._wake_waiters()
+                continue
+            self.rng.shuffle(window)
+            take = max(0, batch_blocks - len(batch))
+            batch.extend(window[:take])
+            # Entries not drained this round go back to the front, oldest
+            # first, so flush barriers still terminate.
+            for entry in sorted(window[take:], key=lambda e: -e.seq):
+                self._drain_queue.appendleft(entry)
+            nbytes = BLOCK_SIZE * len(batch)
+            yield self._media_pipe.request()
+            try:
+                yield self.env.timeout(nbytes / self.profile.media_bandwidth)
+            finally:
+                if epoch == self._epoch:
+                    self._media_pipe.release()
+            if epoch != self._epoch:
+                return
+            for entry in batch:
+                live = self._cache.get(entry.lba)
+                if live is entry:
+                    del self._cache[entry.lba]
+                    self._cache_bytes -= BLOCK_SIZE
+                    self._media[entry.lba] = entry.payload
+                    self._media_version[entry.lba] = entry.version
+                    self._pending_drain_seqs.discard(entry.seq)
+                elif live is None or live.seq != entry.seq:
+                    self._pending_drain_seqs.discard(entry.seq)
+                # else: overwritten mid-drain by a successor that inherited
+                # this seq — the obligation stays until the successor drains.
+            self._wake_waiters()
+
+    def _wake_waiters(self) -> None:
+        # Space waiters (FIFO, as long as space remains).
+        while self._space_waiters:
+            nbytes, waiter = self._space_waiters[0]
+            if self._cache_bytes + nbytes > self.profile.cache_capacity:
+                break
+            self._space_waiters.pop(0)
+            waiter.succeed()
+        # Flush barriers whose snapshot fully drained.
+        low = self._lowest_undrained()
+        remaining = []
+        for barrier_seq, waiter in self._drain_waiters:
+            if low >= barrier_seq:
+                waiter.succeed()
+            else:
+                remaining.append((barrier_seq, waiter))
+        self._drain_waiters = remaining
+
+    def _persist_blocks(self, io: DiskIO) -> None:
+        for offset in range(io.nblocks):
+            lba = io.lba + offset
+            payload = io.payload[offset] if io.payload is not None else None
+            self._version_counter += 1
+            self._media[lba] = payload
+            self._media_version[lba] = self._version_counter
+
+    def __repr__(self) -> str:
+        return f"<NvmeSsd {self.name} ({self.profile.name})>"

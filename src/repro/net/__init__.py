@@ -1,0 +1,16 @@
+"""Network fabric: RDMA queue pairs with RC (reliable connected) semantics.
+
+Provides the properties the paper's design depends on:
+
+* per-QP **in-order delivery** of two-sided SENDs (Rio's Principle 2 aligns
+  a stream to one QP precisely to inherit this property, §4.5);
+* **cross-QP reordering** — independent QPs deliver with independent timing
+  (step ④ of Figure 4: "an RDMA NIC is likely to reorder requests among
+  multiple queues");
+* one-sided **RDMA READ/WRITE** that move data without any remote-CPU cost,
+  vs. two-sided **SEND** whose reception costs target CPU (§2.1).
+"""
+
+from repro.net.fabric import Fabric, Message, QpEndpoint, QueuePair
+
+__all__ = ["Fabric", "Message", "QpEndpoint", "QueuePair"]

@@ -1,0 +1,29 @@
+"""NVMe over Fabrics (RDMA transport): command codec, initiator, target.
+
+This package models the Linux NVMe over RDMA drivers the paper modifies
+(§2.1, §5): I/O commands and completions travel as two-sided RDMA SENDs
+(which cost target CPU); data blocks move by one-sided RDMA READ (which
+bypass it).  :mod:`repro.nvmeof.command` implements the bit-level command
+layout including Rio's use of reserved fields (Table 1).
+
+Ordering behaviour is *pluggable*: a :class:`~repro.nvmeof.target.TargetPolicy`
+installed on each target server adds the Rio (or Horae) processing steps —
+the stock policy is the orderless Linux data path.
+"""
+
+from repro.nvmeof.command import NvmeCommand, NvmeResponse, RioFields
+from repro.nvmeof.costs import CpuCosts
+from repro.nvmeof.initiator import InitiatorDriver, InitiatorServer, RemoteNamespace
+from repro.nvmeof.target import TargetPolicy, TargetServer
+
+__all__ = [
+    "NvmeCommand",
+    "NvmeResponse",
+    "RioFields",
+    "CpuCosts",
+    "InitiatorDriver",
+    "InitiatorServer",
+    "RemoteNamespace",
+    "TargetPolicy",
+    "TargetServer",
+]

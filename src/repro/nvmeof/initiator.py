@@ -1,0 +1,224 @@
+"""NVMe-oF initiator: server, driver, remote namespaces.
+
+The initiator driver turns block requests into NVMe-oF commands, posts them
+as two-sided SENDs on the queue pair the block layer selected (Rio's
+Principle 2 keys on this), and completes them when the response SEND comes
+back through the completion interrupt handler.
+
+Data for writes never passes through this driver: the *target* pulls it
+with a one-sided RDMA READ, so only the 64-byte command costs initiator
+CPU — which is exactly why merging k requests into one command divides the
+per-byte CPU cost by k (Lesson 3, Figure 3).
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.block.request import BlockRequest
+from repro.hw.cpu import Core, CpuSet
+from repro.hw.nic import Nic
+from repro.net.fabric import Message, QpEndpoint
+from repro.nvmeof.command import (
+    OP_FLUSH,
+    OP_READ,
+    OP_WRITE,
+    NvmeCommand,
+    NvmeResponse,
+    RioFields,
+)
+from repro.nvmeof.costs import DEFAULT_COSTS, CpuCosts
+from repro.sim.engine import Environment, Event
+
+__all__ = ["InitiatorServer", "RemoteNamespace", "InitiatorDriver"]
+
+
+class InitiatorServer:
+    """The host running applications, the file system and the block layer."""
+
+    def __init__(self, env: Environment, name: str, cpus: CpuSet, nic: Nic):
+        self.env = env
+        self.name = name
+        self.cpus = cpus
+        self.nic = nic
+
+    def __repr__(self) -> str:
+        return f"<InitiatorServer {self.name} cores={len(self.cpus)}>"
+
+
+class RemoteNamespace:
+    """One remote SSD as seen from the initiator.
+
+    Bundles the target server, the namespace id on that target, and the
+    initiator-side queue-pair endpoints of the connection to that target.
+    """
+
+    def __init__(self, target, nsid: int, endpoints: List[QpEndpoint]):
+        if not endpoints:
+            raise ValueError("a namespace needs at least one queue pair")
+        self.target = target
+        self.nsid = nsid
+        self.endpoints = endpoints
+
+    @property
+    def num_queues(self) -> int:
+        return len(self.endpoints)
+
+    def endpoint_for(self, qp_index: int) -> QpEndpoint:
+        return self.endpoints[qp_index % len(self.endpoints)]
+
+    def __repr__(self) -> str:
+        return f"<RemoteNamespace {self.target.name}/ns{self.nsid}>"
+
+
+class InitiatorDriver:
+    """Builds commands, posts SENDs, dispatches completion interrupts."""
+
+    def __init__(
+        self,
+        env: Environment,
+        server: InitiatorServer,
+        costs: CpuCosts = DEFAULT_COSTS,
+    ):
+        self.env = env
+        self.server = server
+        self.costs = costs
+        self._cids = count(1)
+        self._rpc_ids = count(1)
+        self._pending: Dict[int, Tuple[Event, NvmeCommand]] = {}
+        self._pending_rpcs: Dict[int, Event] = {}
+        self.commands_sent = 0
+        self._registered_endpoints: set = set()
+        self._last_irq: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Connection plumbing
+    # ------------------------------------------------------------------
+
+    def register_connection(self, endpoints: List[QpEndpoint]) -> None:
+        """Install response handling on initiator-side endpoints."""
+        for index, endpoint in enumerate(endpoints):
+            if id(endpoint) in self._registered_endpoints:
+                continue
+            self._registered_endpoints.add(id(endpoint))
+            irq_core = self.server.cpus.pick(index)
+            endpoint.set_receive_handler(self._make_handler(irq_core))
+
+    def _make_handler(self, irq_core: Core):
+        def handler(message: Message):
+            yield from self._handle_response(irq_core, message)
+
+        return handler
+
+    def _irq_cost(self, core: Core) -> float:
+        """Completion-interrupt entry cost, amortized under coalescing."""
+        now = self.env.now
+        last = self._last_irq.get(core.index, -1.0)
+        self._last_irq[core.index] = now
+        if last >= 0 and now - last < self.costs.irq_coalesce_window:
+            return 0.0
+        return self.costs.irq_entry
+
+    def _handle_response(self, core: Core, message: Message):
+        yield from core.run(self._irq_cost(core))
+        if message.kind == "nvme_resp":
+            response, read_payload = message.payload
+            entry = self._pending.pop(response.cid, None)
+            if entry is None:
+                return  # duplicate/stale response (post-recovery replay)
+            done, cmd = entry
+            yield from core.run(self.costs.completion_interrupt)
+            if read_payload is not None:
+                cmd.payload = read_payload
+            if not done.triggered:
+                done.succeed(cmd)
+        elif message.kind == "rpc_resp":
+            rpc_id, payload = message.payload
+            waiter = self._pending_rpcs.pop(rpc_id, None)
+            yield from core.run(self.costs.completion_interrupt)
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed(payload)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(self, core: Core, ns: RemoteNamespace, request: BlockRequest):
+        """Generator: turn ``request`` into a command and post it.
+
+        Charges the per-command CPU cost on ``core`` and returns the
+        completion :class:`Event` (value: the command).  Callers wait with
+        ``done = yield from driver.submit(...)`` then ``yield done``.
+        """
+        yield from core.run(self.costs.command_build_and_post)
+        cmd = self.command_from_request(request, ns)
+        done = Event(self.env)
+        self._pending[cmd.cid] = (done, cmd)
+        self.commands_sent += 1
+        endpoint = ns.endpoint_for(request.qp_index)
+        nbytes = NvmeCommand.WIRE_SIZE
+        if endpoint.qp.transport == "tcp":
+            # NVMe/TCP: data travels inline through the socket — the host
+            # pays stack + copy CPU, and the wire carries the data here
+            # (there is no later one-sided READ).
+            data_blocks = cmd.nblocks if cmd.opcode == OP_WRITE else 0
+            yield from core.run(
+                self.costs.tcp_stack_per_message
+                + self.costs.tcp_copy_per_block * data_blocks
+            )
+            nbytes += cmd.nbytes if cmd.opcode == OP_WRITE else 0
+        endpoint.post_send(Message(kind="nvme_cmd", payload=cmd, nbytes=nbytes))
+        return done
+
+    def command_from_request(
+        self, request: BlockRequest, ns: RemoteNamespace
+    ) -> NvmeCommand:
+        """Map a block request onto one NVMe-oF command (Table 1 fields)."""
+        opcode = {"write": OP_WRITE, "read": OP_READ, "flush": OP_FLUSH}[request.op]
+        rio: Optional[RioFields] = None
+        if request.attr is not None:
+            rio = request.attr.to_rio_fields()
+        return NvmeCommand(
+            opcode=opcode,
+            cid=next(self._cids),
+            nsid=ns.nsid,
+            slba=request.lba,
+            nblocks=request.nblocks,
+            fua=request.fua,
+            flush_after=request.flush and request.op == "write",
+            barrier=request.barrier,
+            rio=rio,
+            payload=request.payload,
+            context=request,
+        )
+
+    # ------------------------------------------------------------------
+    # Control-plane RPC (Horae control path, recovery)
+    # ------------------------------------------------------------------
+
+    def rpc(
+        self,
+        core: Core,
+        endpoint: QpEndpoint,
+        kind: str,
+        payload: Any,
+        nbytes: int = 32,
+    ):
+        """Generator: two-sided control round trip; returns the reply event.
+
+        Used for Horae's ordering-metadata SENDs and for recovery RPCs.
+        The target policy answers via an ``rpc_resp`` message carrying the
+        same rpc id.
+        """
+        yield from core.run(self.costs.command_build_and_post)
+        rpc_id = next(self._rpc_ids)
+        waiter = Event(self.env)
+        self._pending_rpcs[rpc_id] = waiter
+        endpoint.post_send(
+            Message(kind=kind, payload=(rpc_id, payload), nbytes=nbytes)
+        )
+        return waiter
+
+    def pending_count(self) -> int:
+        return len(self._pending)

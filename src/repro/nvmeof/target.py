@@ -1,0 +1,295 @@
+"""NVMe-oF target server: driver, SSDs, PMR, and pluggable ordering policy.
+
+The target driver receives I/O commands as two-sided SENDs (costing CPU on
+the IRQ core of the arrival queue pair), fetches write data with one-sided
+RDMA READs (no CPU), submits to the local NVMe SSD and responds with a SEND
+(§2.1, Figure 1(a)).
+
+Ordering behaviour is injected through :class:`TargetPolicy` hooks:
+
+* ``before_submit``  — Rio's in-order submission point (§4.3.1) and
+  persistent-ordering-attribute store (§4.3.2, step ⑤ of Figure 4);
+* ``after_completion`` — Rio's persist-field toggle (step ⑦);
+* ``on_control``     — out-of-band messages (Horae's control path, recovery
+  RPCs).
+
+The stock :class:`TargetPolicy` does nothing, which *is* the orderless
+Linux data path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.hw.cpu import Core, CpuSet
+from repro.hw.nic import Nic
+from repro.hw.pmr import PersistentMemoryRegion
+from repro.hw.ssd import CrashedError, DiskIO, NvmeSsd
+from repro.net.fabric import Message, QpEndpoint
+from repro.nvmeof.command import (
+    OP_FLUSH,
+    OP_READ,
+    OP_WRITE,
+    NvmeCommand,
+    NvmeResponse,
+)
+from repro.nvmeof.costs import DEFAULT_COSTS, CpuCosts
+from repro.sim.engine import Environment
+
+__all__ = ["TargetPolicy", "TargetContext", "TargetServer"]
+
+
+class TargetContext:
+    """Everything a policy hook needs about one in-flight command.
+
+    ``core`` handles the receive path (RECV completion, data fetch, SSD
+    submission); ``completion_core`` handles the SSD interrupt path
+    (completion, persist toggling, response) — separate vectors, as on the
+    real target, so one queue pair does not serialize the whole server.
+    """
+
+    def __init__(
+        self,
+        target: "TargetServer",
+        endpoint: QpEndpoint,
+        core: Core,
+        completion_core: Optional[Core] = None,
+    ):
+        self.target = target
+        self.endpoint = endpoint
+        self.core = core
+        self.completion_core = completion_core or core
+
+    @property
+    def env(self) -> Environment:
+        return self.target.env
+
+    @property
+    def pmr(self) -> PersistentMemoryRegion:
+        return self.target.pmr
+
+
+class TargetPolicy:
+    """No-op ordering policy: the stock (orderless) NVMe-oF target."""
+
+    def attach(self, target: "TargetServer") -> None:
+        """Called when installed on a target."""
+
+    def on_receive(self, ctx: TargetContext, cmd: NvmeCommand):
+        """Hook after command reception, before data fetch."""
+        return
+        yield  # pragma: no cover - makes this a generator function
+
+    def before_submit(self, ctx: TargetContext, cmd: NvmeCommand):
+        """Hook before the command is submitted to the SSD."""
+        return
+        yield  # pragma: no cover
+
+    def after_completion(self, ctx: TargetContext, cmd: NvmeCommand):
+        """Hook after SSD completion (and post-flush), before the response."""
+        return
+        yield  # pragma: no cover
+
+    def on_control(self, ctx: TargetContext, message: Message):
+        """Hook for non-I/O (control/RPC) messages."""
+        return
+        yield  # pragma: no cover
+
+    def on_restart(self) -> None:
+        """Reset volatile policy state after a target power cycle."""
+
+
+class TargetServer:
+    """One remote storage server: CPU, NIC, SSD array, PMR."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        cpus: CpuSet,
+        nic: Nic,
+        ssds: List[NvmeSsd],
+        pmr: Optional[PersistentMemoryRegion] = None,
+        costs: CpuCosts = DEFAULT_COSTS,
+    ):
+        if not ssds:
+            raise ValueError("a target server needs at least one SSD")
+        self.env = env
+        self.name = name
+        self.cpus = cpus
+        self.nic = nic
+        self.ssds = ssds
+        self.pmr = pmr if pmr is not None else PersistentMemoryRegion(env)
+        self.costs = costs
+        self.policy: TargetPolicy = TargetPolicy()
+        self.crashed = False
+        self.endpoints: List[QpEndpoint] = []
+        self.commands_received = 0
+        self._last_irq: Dict[int, float] = {}
+
+    def install_policy(self, policy: TargetPolicy) -> None:
+        self.policy = policy
+        policy.attach(self)
+
+    def attach_connection(self, endpoints: List[QpEndpoint]) -> None:
+        """Register receive handling for target-side QP endpoints."""
+        base = len(self.endpoints)
+        half = max(1, len(self.cpus) // 2)
+        for offset, endpoint in enumerate(endpoints):
+            irq_core = self.cpus.pick((base + offset) % half)
+            completion_core = self.cpus.pick(half + (base + offset) % half)
+            endpoint.set_receive_handler(
+                self._make_handler(endpoint, irq_core, completion_core)
+            )
+            self.endpoints.append(endpoint)
+
+    # ------------------------------------------------------------------
+    # Crash / restart
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Power failure of the whole server (§6.5's injected error)."""
+        self.crashed = True
+        for ssd in self.ssds:
+            ssd.crash()
+        for endpoint in self.endpoints:
+            endpoint.crash()
+        self.pmr.crash()
+
+    def restart(self) -> None:
+        if not self.crashed:
+            raise RuntimeError(f"{self.name} is not crashed")
+        self.crashed = False
+        for ssd in self.ssds:
+            ssd.restart()
+        for endpoint in self.endpoints:
+            endpoint.restart()
+        self.policy.on_restart()
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+
+    def _make_handler(
+        self, endpoint: QpEndpoint, irq_core: Core, completion_core: Core
+    ):
+        def handler(message: Message):
+            yield from self._handle_message(
+                endpoint, irq_core, completion_core, message
+            )
+
+        return handler
+
+    def _handle_message(
+        self,
+        endpoint: QpEndpoint,
+        core: Core,
+        completion_core: Core,
+        message: Message,
+    ):
+        if self.crashed:
+            return
+        ctx = TargetContext(self, endpoint, core, completion_core)
+        yield from core.run(self._irq_cost(core))
+        try:
+            if message.kind == "nvme_cmd":
+                yield from self._handle_command(ctx, message.payload)
+            else:
+                yield from core.run(self.costs.recv_process)
+                yield from self.policy.on_control(ctx, message)
+        except CrashedError:
+            # The server lost power while this command was in flight: on
+            # real hardware nothing more happens — no response is sent.
+            return
+
+    def _irq_cost(self, core: Core) -> float:
+        """Interrupt entry cost, amortized under coalescing (Lesson 3)."""
+        now = self.env.now
+        last = self._last_irq.get(core.index, -1.0)
+        self._last_irq[core.index] = now
+        if last >= 0 and now - last < self.costs.irq_coalesce_window:
+            return 0.0
+        return self.costs.irq_entry
+
+    def _handle_command(self, ctx: TargetContext, cmd: NvmeCommand):
+        core, endpoint = ctx.core, ctx.endpoint
+        self.commands_received += 1
+        yield from core.run(self.costs.recv_process)
+        yield from self.policy.on_receive(ctx, cmd)
+        if self.crashed:
+            return
+
+        if cmd.opcode == OP_WRITE:
+            if endpoint.qp.transport == "tcp":
+                # NVMe/TCP: the data arrived inline; pay the socket stack
+                # and the copy out of the receive buffers.
+                yield from core.run(
+                    self.costs.tcp_stack_per_message
+                    + self.costs.tcp_copy_per_block * cmd.nblocks
+                )
+            else:
+                # Fetch data blocks by one-sided RDMA READ (no target CPU
+                # beyond posting the work request).
+                yield from core.run(self.costs.rdma_read_post)
+                yield from endpoint.rdma_read(cmd.nbytes)
+            if self.crashed:
+                return
+
+        yield from self.policy.before_submit(ctx, cmd)
+        if self.crashed:
+            return
+
+        ssd = self.ssds[cmd.nsid]
+        yield from core.run(self.costs.nvme_submit)
+        if cmd.opcode == OP_FLUSH:
+            io = DiskIO(op="flush")
+        elif cmd.opcode == OP_WRITE:
+            io = DiskIO(
+                op="write",
+                lba=cmd.slba,
+                nblocks=cmd.nblocks,
+                payload=cmd.payload,
+                fua=cmd.fua,
+                barrier=cmd.barrier,
+            )
+        else:
+            io = DiskIO(op="read", lba=cmd.slba, nblocks=cmd.nblocks)
+        yield ssd.submit(io)
+        yield from ctx.completion_core.run(self.costs.nvme_completion)
+
+        if cmd.flush_after:
+            yield ssd.submit(DiskIO(op="flush"))
+            yield from ctx.completion_core.run(self.costs.nvme_completion)
+        if self.crashed:
+            return
+
+        yield from self.policy.after_completion(ctx, cmd)
+        if self.crashed:
+            return
+
+        response_nbytes = NvmeResponse.WIRE_SIZE
+        if cmd.opcode == OP_READ:
+            if endpoint.qp.transport == "tcp":
+                # Read data rides inline in the response PDU.
+                yield from ctx.completion_core.run(
+                    self.costs.tcp_stack_per_message
+                    + self.costs.tcp_copy_per_block * cmd.nblocks
+                )
+                response_nbytes += cmd.nbytes
+            else:
+                # Ship the data back with a one-sided RDMA WRITE.
+                yield from endpoint.rdma_write(cmd.nbytes)
+            response_payload: Any = (NvmeResponse(cid=cmd.cid), io.payload)
+        else:
+            response_payload = (NvmeResponse(cid=cmd.cid), None)
+        yield from ctx.completion_core.run(self.costs.response_post)
+        endpoint.post_send(
+            Message(
+                kind="nvme_resp",
+                payload=response_payload,
+                nbytes=response_nbytes,
+            )
+        )
+
+    def __repr__(self) -> str:
+        return f"<TargetServer {self.name} ssds={len(self.ssds)}>"

@@ -1,0 +1,358 @@
+"""Event-heap scheduler and generator-based processes.
+
+The engine models virtual time in **seconds** (floats).  All hardware and
+protocol latencies in the reproduction are expressed in seconds so that
+throughput numbers come out directly in operations per second.
+
+The programming model is cooperative coroutines::
+
+    def worker(env):
+        yield env.timeout(1e-6)          # wait 1 microsecond
+        result = yield some_event        # wait for an event, receive value
+
+    env = Environment()
+    env.process(worker(env))
+    env.run(until=1.0)
+
+Events may *succeed* (carrying a value) or *fail* (carrying an exception,
+which is re-raised inside every waiting process).  A :class:`Process` is
+itself an event that fires when the generator returns, so processes can wait
+on each other.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "SimulationError",
+    "Interrupt",
+    "Event",
+    "Timeout",
+    "Condition",
+    "Process",
+    "Environment",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel (e.g. double-trigger)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries the value given to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event states.
+_PENDING = 0
+_TRIGGERED = 1  # scheduled on the heap, callbacks not yet run
+_PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A one-shot occurrence in virtual time that processes can wait on."""
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._state = _PENDING
+        self._ok = True
+        self._value: Any = None
+
+    # -- inspection -------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._state != _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (waiters have been resumed)."""
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with (or the failure exception)."""
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event successfully, delivering ``value`` to waiters."""
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self._state = _TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Fire the event as a failure; ``exception`` is raised in waiters."""
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._state = _TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    def _run_callbacks(self) -> None:
+        self._state = _PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} at {id(self):#x} state={self._state}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed virtual-time delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._state = _TRIGGERED
+        env._schedule(self, delay)
+
+
+class Condition(Event):
+    """Fires when ``evaluate`` says enough of the watched events fired.
+
+    Used for :meth:`Environment.all_of` and :meth:`Environment.any_of`.
+    The condition value is a dict mapping each fired event to its value.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        events: Iterable[Event],
+        evaluate: Callable[[int, int], bool],
+    ):
+        super().__init__(env)
+        self._events = list(events)
+        self._evaluate = evaluate
+        self._fired = 0
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.processed:
+                self._on_event(event)
+            else:
+                event.callbacks.append(self._on_event)
+
+    def _on_event(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._fired += 1
+        if self._evaluate(self._fired, len(self._events)):
+            self.succeed(
+                {ev: ev.value for ev in self._events if ev.processed or ev.triggered}
+            )
+
+
+def _all_fired(fired: int, total: int) -> bool:
+    return fired == total
+
+
+def _any_fired(fired: int, total: int) -> bool:
+    return fired >= 1
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it returns."""
+
+    def __init__(self, env: "Environment", generator: Generator):
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process() requires a generator, got {generator!r}")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume the generator at the current simulation time.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._state == _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._waiting_on is not None:
+            try:
+                self._waiting_on.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._waiting_on = None
+        wakeup = Event(self.env)
+        wakeup.callbacks.append(
+            lambda _ev: self._step(throw=Interrupt(cause))
+        )
+        wakeup.succeed()
+
+    # -- internal ----------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event.ok:
+            self._step(send=event.value)
+        else:
+            self._step(throw=event.value)
+
+    def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
+        if not self.is_alive:
+            return
+        self.env._active_process = self
+        try:
+            if throw is not None:
+                target = self._generator.throw(throw)
+            else:
+                target = self._generator.send(send)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # Interrupt escaped the generator: treat as clean termination.
+            self.succeed(None)
+            return
+        finally:
+            self.env._active_process = None
+        if not isinstance(target, Event):
+            self._generator.throw(
+                TypeError(f"process yielded a non-event: {target!r}")
+            )
+            return
+        if target.processed:
+            # Already fired and callbacks ran: resume immediately (same time).
+            immediate = Event(self.env)
+            immediate.callbacks.append(
+                lambda _ev: self._resume(target)
+            )
+            immediate.succeed()
+        else:
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
+
+
+class Environment:
+    """The simulation clock plus the pending-event heap."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: List = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+        #: Optional :class:`repro.sim.trace.Tracer`; instrumented
+        #: components emit via :meth:`trace` when one is attached.
+        self.tracer = None
+
+    def trace(self, category: str, event: str, **fields) -> None:
+        """Emit a trace event if a tracer is attached (cheap otherwise)."""
+        if self.tracer is not None:
+            self.tracer.emit(self._now, category, event, **fields)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing (None between steps)."""
+        return self._active_process
+
+    # -- factory helpers ----------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> Condition:
+        return Condition(self, events, _all_fired)
+
+    def any_of(self, events: Iterable[Event]) -> Condition:
+        return Condition(self, events, _any_fired)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._heap, (self._now + delay, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._heap:
+            raise SimulationError("no more events to step")
+        when, _eid, event = heapq.heappop(self._heap)
+        self._now = when
+        event._run_callbacks()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or virtual time reaches ``until``.
+
+        When ``until`` is given the clock is advanced exactly to it even if
+        the last event fires earlier, so throughput windows are exact.
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return
+        if until < self._now:
+            raise ValueError(f"until={until} is in the past (now={self._now})")
+        while self._heap and self._heap[0][0] <= until:
+            self.step()
+        self._now = until
+
+    def run_until_event(self, event: Event, limit: float = float("inf")) -> Any:
+        """Run until ``event`` fires; returns its value. Raises on failure."""
+        while not event.triggered:
+            if not self._heap:
+                raise SimulationError("event can never fire: heap is empty")
+            if self._heap[0][0] > limit:
+                raise SimulationError(f"event did not fire before t={limit}")
+            self.step()
+        # Drain same-timestamp callbacks so waiters observe the value too.
+        while self._heap and self._heap[0][0] <= self._now:
+            self.step()
+        if not event.ok:
+            raise event.value
+        return event.value

@@ -1,0 +1,138 @@
+"""Queueing primitives: FIFO stores and counted resources.
+
+These are the building blocks for hardware queues (NVMe submission queues,
+NIC queue pairs) and for mutual exclusion (per-core run queues, the single
+in-flight-request constraint of the synchronous baselines).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.engine import Environment, Event, SimulationError
+
+__all__ = ["Store", "Resource"]
+
+
+class Store:
+    """An unbounded (or bounded) FIFO channel between processes.
+
+    ``put(item)`` returns an event that fires once the item is accepted
+    (immediately unless the store is bounded and full).  ``get()`` returns an
+    event that fires with the oldest item once one is available.
+    """
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive or None")
+        self.env = env
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Event] = deque()  # events carrying blocked items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of queued items (oldest first)."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> Event:
+        event = Event(self.env)
+        if self._getters:
+            # Hand the item straight to the oldest waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed()
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            event.succeed()
+        else:
+            event._blocked_item = item  # type: ignore[attr-defined]
+            self._putters.append(event)
+        return event
+
+    def get(self) -> Event:
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+            self._admit_blocked_putter()
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get: the oldest item, or None if empty."""
+        if not self._items:
+            return None
+        item = self._items.popleft()
+        self._admit_blocked_putter()
+        return item
+
+    def _admit_blocked_putter(self) -> None:
+        if self._putters and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            putter = self._putters.popleft()
+            self._items.append(putter._blocked_item)  # type: ignore[attr-defined]
+            putter.succeed()
+
+
+class Resource:
+    """A counted resource with FIFO grant order (like a semaphore).
+
+    ``request()`` yields an event that fires when a slot is granted;
+    ``release()`` frees one slot.  Used to model limited hardware
+    concurrency (e.g. flash chips, DMA engines).
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Request a slot; yield the returned event *immediately*.
+
+        Abandoned waiters (e.g. interrupted processes) are detected by
+        having no registered callbacks at grant time, so an event parked
+        un-yielded across other waits would be mistaken for abandoned.
+        """
+        event = Event(self.env)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        # Grant the slot to the oldest waiter that is still listening.
+        # A waiter whose process was interrupted has no callbacks left —
+        # granting to it would leak the slot forever.
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.callbacks:
+                waiter.succeed()
+                return
+        self._in_use -= 1
+
+    def acquire(self):
+        """Generator helper: ``yield from resource.acquire()``."""
+        yield self.request()

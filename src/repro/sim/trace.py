@@ -1,0 +1,95 @@
+"""Opt-in event tracing for the simulation.
+
+Attach a :class:`Tracer` to an :class:`~repro.sim.engine.Environment`
+(``env.tracer = Tracer()``) and instrumented components emit structured
+events: SSD command service, the Rio target's in-order gate, scheduler
+merges, sequencer releases.  With no tracer attached the instrumentation
+is a single attribute check on the hot path.
+
+Example::
+
+    env = Environment()
+    env.tracer = Tracer(categories={"rio.gate", "ssd"})
+    ... run ...
+    print(env.tracer.render(limit=50))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One instrumented occurrence."""
+
+    time: float
+    category: str
+    event: str
+    fields: tuple  # sorted (key, value) pairs
+
+    def __str__(self) -> str:
+        details = " ".join(f"{k}={v}" for k, v in self.fields)
+        return f"{self.time * 1e6:10.2f}us  {self.category:<12} {self.event:<18} {details}"
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records, optionally filtered."""
+
+    def __init__(self, categories: Optional[Iterable[str]] = None,
+                 capacity: int = 100_000):
+        #: None = record everything; otherwise only these categories.
+        self.categories: Optional[Set[str]] = (
+            set(categories) if categories is not None else None
+        )
+        self.capacity = capacity
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def wants(self, category: str) -> bool:
+        return self.categories is None or category in self.categories
+
+    def emit(self, time: float, category: str, event: str, **fields) -> None:
+        if not self.wants(category):
+            return
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(
+            TraceEvent(
+                time=time,
+                category=category,
+                event=event,
+                fields=tuple(sorted(fields.items())),
+            )
+        )
+
+    # -- querying ----------------------------------------------------------
+
+    def select(self, category: Optional[str] = None,
+               event: Optional[str] = None) -> List[TraceEvent]:
+        return [
+            e
+            for e in self.events
+            if (category is None or e.category == category)
+            and (event is None or e.event == event)
+        ]
+
+    def counts(self) -> Dict[str, int]:
+        """Event counts keyed by 'category.event'."""
+        out: Dict[str, int] = {}
+        for e in self.events:
+            key = f"{e.category}.{e.event}"
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def render(self, limit: int = 100) -> str:
+        lines = [str(e) for e in self.events[:limit]]
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        if self.dropped:
+            lines.append(f"... {self.dropped} events dropped (capacity)")
+        return "\n".join(lines)

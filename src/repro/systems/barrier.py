@@ -1,0 +1,102 @@
+"""A BarrierFS-style order-preserving stack (§2.2 related work).
+
+BarrierFS [FAST'18] keeps *every layer* order-preserving: the block layer
+schedules ordered writes FIFO, and a barrier-enabled SSD persists barrier
+writes in submission order, so neither completion waits nor FLUSH commands
+are needed.  The paper could not evaluate it ("we do not have
+barrier-enabled storage and can not control the behavior of the NIC",
+§3.1) but explains why the approach scales poorly on modern multi-queue
+hardware: "to agree on a specific order, requests from different cores
+contend on the single hardware queue, which limits the multicore
+scalability", and SSDs cannot coordinate order across multiple targets.
+
+The simulator *can* provide a barrier-enabled SSD and an order-preserving
+NIC path, so this stack implements the approach faithfully to the
+architecture's constraints:
+
+* all ordered writes — from every stream — funnel through **one software
+  dispatch queue** onto **one NIC queue pair** (the only way to present a
+  single total order to the device);
+* writes carry the ``barrier`` flag: the SSD persists them in submission
+  order through a serialized barrier lane (no FLUSH, no completion wait);
+* only a **single target server** can be supported (SSDs cannot agree on
+  cross-device order — exactly the paper's §2.2 criticism).
+
+The result reproduces the argument rather than a number: barrier ordering
+is cheap at one thread and stops scaling almost immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.block.mq import BlockLayer
+from repro.block.request import Bio
+from repro.cluster import Cluster
+from repro.hw.cpu import Core
+from repro.sim.engine import Event
+from repro.sim.resources import Store
+from repro.systems.base import OrderedStack
+
+__all__ = ["BarrierStack"]
+
+
+class BarrierStack(OrderedStack):
+    name = "barrier"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        volume=None,
+        num_streams: Optional[int] = None,
+        merging_enabled: bool = True,
+    ):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.volume = volume if volume is not None else cluster.volume()
+        if len(self.volume.namespaces) > 1:
+            raise ValueError(
+                "the barrier interface cannot order writes across devices "
+                "or target servers — 'SSDs are unable to communicate with "
+                "each other' (§2.2); use a single-SSD volume"
+            )
+        self.block_layer = BlockLayer(
+            self.env,
+            cluster.driver,
+            self.volume,
+            costs=cluster.costs,
+            merging_enabled=merging_enabled,
+        )
+        #: The single FIFO dispatch queue all cores contend on.
+        self._queue: Store = Store(self.env)
+        self.env.process(self._dispatcher())
+        self.dispatched = 0
+
+    def submit_ordered(
+        self,
+        core: Core,
+        bio: Bio,
+        end_of_group: bool = True,
+        flush: bool = False,
+        kick: Optional[bool] = None,
+    ):
+        bio.flags.barrier = True
+        if flush:
+            bio.flags.flush = True
+        completion = bio.make_completion(self.env)
+        yield from core.run(0.05e-6)  # enqueue onto the shared queue
+        self._queue.put((core, bio))
+        return completion
+
+    def _dispatcher(self):
+        """The single order-preserving dispatch context (one hw queue)."""
+        dispatch_core = self.cluster.initiator.cpus.pick(0)
+        while True:
+            _submitter, bio = yield self._queue.get()
+            # FIFO through QP 0 — the single queue every request agrees on.
+            fragments = self.block_layer.split_bio(bio)
+            bio._pending_fragments = len(fragments)  # type: ignore[attr-defined]
+            for ns, request in fragments:
+                request.qp_index = 0
+                yield from self.block_layer.dispatch(dispatch_core, ns, request)
+                self.dispatched += 1

@@ -1,0 +1,68 @@
+"""The orderless stack: stock NVMe over RDMA with no ordering guarantee.
+
+This is the paper's upper bound ("orderless" in Figures 2, 10–12): every
+request is dispatched asynchronously the moment it is submitted; nothing
+waits for anything.  ``kick=False`` stages requests in a per-stream plug so
+the batching experiments (Figures 3 and 12) exercise the stock block-layer
+merging.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.block.mq import BlockLayer, Plug
+from repro.block.request import Bio
+from repro.cluster import Cluster
+from repro.hw.cpu import Core
+from repro.systems.base import OrderedStack
+
+__all__ = ["OrderlessStack"]
+
+
+class OrderlessStack(OrderedStack):
+    name = "orderless"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        volume=None,
+        num_streams: Optional[int] = None,
+        merging_enabled: bool = True,
+    ):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.volume = volume if volume is not None else cluster.volume()
+        self.block_layer = BlockLayer(
+            self.env,
+            cluster.driver,
+            self.volume,
+            costs=cluster.costs,
+            merging_enabled=merging_enabled,
+        )
+        self._plugs: Dict[int, Plug] = {}
+
+    def submit_ordered(
+        self,
+        core: Core,
+        bio: Bio,
+        end_of_group: bool = True,
+        flush: bool = False,
+        kick: Optional[bool] = None,
+    ):
+        """Ordering flags are accepted and ignored — that is the point."""
+        if flush:
+            bio.flags.flush = True
+        if kick is None:
+            kick = True  # orderless never withholds dispatch by default
+        if not kick:
+            plug = self._plugs.setdefault(bio.stream_id, Plug())
+            done = yield from self.block_layer.submit_bio(core, bio, plug=plug)
+            return done
+        plug = self._plugs.pop(bio.stream_id, None)
+        if plug is not None:
+            done = yield from self.block_layer.submit_bio(core, bio, plug=plug)
+            yield from self.block_layer.finish_plug(core, plug)
+            return done
+        done = yield from self.block_layer.submit_bio(core, bio)
+        return done

@@ -1,0 +1,101 @@
+"""Unit tests for the FIO-style block workload driver."""
+
+import pytest
+
+from repro.apps.fio import run_block_workload
+from repro.cluster import Cluster
+from repro.hw.ssd import OPTANE_905P
+from repro.sim import Environment
+from repro.systems import make_stack
+
+
+def build(system="orderless", threads=1):
+    env = Environment()
+    cluster = Cluster(env, target_ssds=((OPTANE_905P,),))
+    stack = make_stack(system, cluster, num_streams=max(threads, 1))
+    return cluster, stack
+
+
+def test_basic_run_produces_throughput():
+    cluster, stack = build()
+    result = run_block_workload(cluster, stack, threads=1, duration=1e-3)
+    assert result.ops > 0
+    assert result.iops > 0
+    assert result.elapsed == 1e-3
+    assert result.latency.count > 0
+
+
+def test_invalid_parameters_rejected():
+    cluster, stack = build()
+    with pytest.raises(ValueError):
+        run_block_workload(cluster, stack, pattern="zigzag")
+    cluster, stack = build()
+    with pytest.raises(ValueError):
+        run_block_workload(cluster, stack, threads=0)
+    cluster, stack = build()
+    with pytest.raises(ValueError):
+        run_block_workload(cluster, stack, batch=0)
+
+
+def test_threads_write_private_areas():
+    cluster, stack = build(threads=2)
+    run_block_workload(cluster, stack, threads=2, duration=0.5e-3)
+    ssd = cluster.targets[0].ssds[0]
+    # Thread areas are 16M blocks apart; all durable LBAs must fall into
+    # one of the two areas.
+    for lba in list(ssd._media)[:200]:
+        assert lba < 16_000_000 or 16_000_000 <= lba < 32_000_000
+
+
+def test_seq_pattern_is_sequential():
+    cluster, stack = build()
+    result = run_block_workload(cluster, stack, threads=1, duration=0.5e-3,
+                                pattern="seq", write_blocks=1)
+    ssd = cluster.targets[0].ssds[0]
+    lbas = sorted(ssd._media)
+    # Sequential: a contiguous prefix of the thread's area.
+    assert lbas[:50] == list(range(50))
+
+
+def test_journal_pattern_counts_two_ops_per_iteration():
+    cluster, stack = build()
+    result = run_block_workload(cluster, stack, threads=1, duration=1e-3,
+                                journal_pattern=True)
+    # Ops are counted per request: 2 per iteration, 3 blocks per iteration.
+    assert result.bytes_written == (result.ops // 2) * 3 * 4096
+
+
+def test_batch_mode_writes_batch_blocks():
+    cluster, stack = build()
+    result = run_block_workload(cluster, stack, threads=1, duration=1e-3,
+                                pattern="seq", batch=4)
+    assert result.ops % 4 == 0
+    assert result.commands_sent < result.ops  # merging happened
+
+
+def test_cpu_busy_cores_measured():
+    cluster, stack = build()
+    result = run_block_workload(cluster, stack, threads=1, duration=1e-3)
+    assert 0 < result.initiator_busy_cores <= 1.5
+    assert 0 < result.target_busy_cores <= 2.5
+    assert result.initiator_efficiency > 0
+    assert result.target_efficiency > 0
+
+
+def test_durable_flag_flushes_on_rio():
+    env = Environment()
+    cluster = Cluster(env, target_ssds=((OPTANE_905P,),))
+    stack = make_stack("rio", cluster, num_streams=1)
+    result = run_block_workload(cluster, stack, threads=1, duration=0.5e-3,
+                                durable=True)
+    assert result.ops > 0
+
+
+def test_deterministic_given_seed():
+    def run():
+        cluster, stack = build()
+        result = run_block_workload(cluster, stack, threads=2,
+                                    duration=1e-3, seed=77)
+        return result.ops, result.bytes_written
+
+    assert run() == run()

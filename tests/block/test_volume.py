@@ -1,0 +1,85 @@
+"""Unit tests for the striped logical volume."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.hw.ssd import OPTANE_905P
+from repro.sim import Environment
+
+
+def make_volume(width, stripe_blocks=1):
+    env = Environment()
+    cluster = Cluster(env, target_ssds=(tuple([OPTANE_905P] * width),))
+    return cluster, cluster.volume(stripe_blocks=stripe_blocks)
+
+
+def test_width_one_is_identity():
+    cluster, volume = make_volume(1)
+    for lba in (0, 1, 7, 1000):
+        ns, local = volume.locate(lba)
+        assert local == lba
+        assert ns is volume.namespaces[0]
+
+
+def test_round_robin_mapping():
+    cluster, volume = make_volume(3)
+    assert volume.locate(0)[0] is volume.namespaces[0]
+    assert volume.locate(1)[0] is volume.namespaces[1]
+    assert volume.locate(2)[0] is volume.namespaces[2]
+    assert volume.locate(3)[0] is volume.namespaces[0]
+    assert volume.locate(3)[1] == 1  # second stripe on member 0
+
+
+def test_larger_stripe_size():
+    cluster, volume = make_volume(2, stripe_blocks=4)
+    # Blocks 0..3 on member 0, 4..7 on member 1, 8..11 back on member 0.
+    for lba in range(4):
+        assert volume.locate(lba)[0] is volume.namespaces[0]
+    for lba in range(4, 8):
+        assert volume.locate(lba)[0] is volume.namespaces[1]
+    assert volume.locate(8) == (volume.namespaces[0], 4)
+
+
+def test_negative_lba_rejected():
+    cluster, volume = make_volume(2)
+    with pytest.raises(ValueError):
+        volume.locate(-1)
+    with pytest.raises(ValueError):
+        list(volume.extents(0, 0))
+
+
+def test_extents_single_device_is_one_run():
+    cluster, volume = make_volume(1)
+    extents = list(volume.extents(10, 5))
+    assert len(extents) == 1
+    ns, local, offsets = extents[0]
+    assert local == 10
+    assert offsets == [0, 1, 2, 3, 4]
+
+
+def test_extents_interleaved_coalesce_per_device():
+    cluster, volume = make_volume(2)
+    extents = list(volume.extents(0, 6))
+    # Member 0 gets volume blocks 0,2,4 (local 0,1,2); member 1 gets 1,3,5.
+    assert len(extents) == 2
+    by_ns = {id(ns): (local, offsets) for ns, local, offsets in extents}
+    locals_and_offsets = sorted(by_ns.values())
+    assert locals_and_offsets == [(0, [0, 2, 4]), (0, [1, 3, 5])]
+
+
+def test_targets_deduplicates():
+    env = Environment()
+    cluster = Cluster(env, target_ssds=((OPTANE_905P, OPTANE_905P),
+                                        (OPTANE_905P,)))
+    volume = cluster.volume()
+    assert len(volume.targets()) == 2
+
+
+def test_validation():
+    from repro.block.volume import LogicalVolume
+
+    with pytest.raises(ValueError):
+        LogicalVolume([])
+    cluster, volume = make_volume(1)
+    with pytest.raises(ValueError):
+        LogicalVolume(volume.namespaces, stripe_blocks=0)

@@ -1,0 +1,120 @@
+"""Unit tests for the Rio sequencer (attribute creation, group lifecycle,
+in-order release bookkeeping)."""
+
+import pytest
+
+from repro.block.mq import BlockLayer
+from repro.block.request import Bio
+from repro.cluster import Cluster
+from repro.core.scheduler import RioIoScheduler
+from repro.core.sequencer import RioSequencer
+from repro.hw.ssd import OPTANE_905P
+from repro.sim import Environment
+
+
+def make_sequencer(num_streams=2):
+    env = Environment()
+    cluster = Cluster(env, target_ssds=((OPTANE_905P,),))
+    layer = BlockLayer(env, cluster.driver, cluster.volume())
+    scheduler = RioIoScheduler(env, layer, cluster.initiator.cpus,
+                               num_streams=num_streams)
+    sequencer = RioSequencer(env, scheduler, num_streams=num_streams)
+    scheduler.released_seq_of = sequencer.released_seq
+    core = cluster.initiator.cpus.pick(0)
+    return env, cluster, sequencer, core
+
+
+def submit(env, sequencer, core, bio, **kwargs):
+    holder = {}
+
+    def proc(env):
+        holder["event"] = yield from sequencer.submit(core, bio, **kwargs)
+
+    env.run_until_event(env.process(proc(env)))
+    return holder["event"]
+
+
+def test_sequence_numbers_increase_per_group():
+    env, cluster, sequencer, core = make_sequencer()
+    b1 = Bio(op="write", lba=0, nblocks=1, stream_id=0)
+    b2 = Bio(op="write", lba=10, nblocks=1, stream_id=0)
+    submit(env, sequencer, core, b1, end_of_group=True)
+    submit(env, sequencer, core, b2, end_of_group=True)
+    assert b1.attr.start_seq == 1
+    assert b2.attr.start_seq == 2
+
+
+def test_group_members_share_seq():
+    env, cluster, sequencer, core = make_sequencer()
+    b1 = Bio(op="write", lba=0, nblocks=2, stream_id=0)
+    b2 = Bio(op="write", lba=10, nblocks=1, stream_id=0)
+    submit(env, sequencer, core, b1, end_of_group=False)
+    submit(env, sequencer, core, b2, end_of_group=True)
+    assert b1.attr.start_seq == b2.attr.start_seq == 1
+    assert b1.attr.group_index == 0
+    assert b2.attr.group_index == 1
+    # num recorded in the final request only (§4.2).
+    assert b1.attr.num == 0
+    assert b2.attr.num == 2
+    assert not b1.attr.boundary
+    assert b2.attr.boundary
+
+
+def test_streams_have_independent_sequences():
+    env, cluster, sequencer, core = make_sequencer()
+    b0 = Bio(op="write", lba=0, nblocks=1, stream_id=0)
+    b1 = Bio(op="write", lba=10, nblocks=1, stream_id=1)
+    submit(env, sequencer, core, b0)
+    submit(env, sequencer, core, b1)
+    assert b0.attr.start_seq == 1
+    assert b1.attr.start_seq == 1  # stream 1 starts fresh
+
+
+def test_flush_flag_propagates_to_attribute():
+    env, cluster, sequencer, core = make_sequencer()
+    bio = Bio(op="write", lba=0, nblocks=1, stream_id=0)
+    submit(env, sequencer, core, bio, flush=True)
+    assert bio.attr.flush
+    assert bio.flags.flush
+
+
+def test_reads_are_rejected():
+    env, cluster, sequencer, core = make_sequencer()
+    bio = Bio(op="read", lba=0, nblocks=1, stream_id=0)
+    with pytest.raises(ValueError):
+        submit(env, sequencer, core, bio)
+
+
+def test_submit_after_group_close_opens_next_group():
+    env, cluster, sequencer, core = make_sequencer()
+    b1 = Bio(op="write", lba=0, nblocks=1, stream_id=0)
+    submit(env, sequencer, core, b1, end_of_group=True)
+    b2 = Bio(op="write", lba=10, nblocks=1, stream_id=0)
+    submit(env, sequencer, core, b2, end_of_group=False)
+    assert b2.attr.start_seq == 2
+    assert not sequencer.streams[0].groups[2].closed
+
+
+def test_released_seq_tracks_completion():
+    env, cluster, sequencer, core = make_sequencer()
+    bio = Bio(op="write", lba=0, nblocks=1, stream_id=0)
+    event = submit(env, sequencer, core, bio)
+    assert sequencer.released_seq(0) == 0
+    env.run_until_event(event)
+    assert sequencer.released_seq(0) == 1
+    assert sequencer.unreleased_groups(0) == []
+
+
+def test_unreleased_groups_report_pending_work():
+    env, cluster, sequencer, core = make_sequencer()
+    bio = Bio(op="write", lba=0, nblocks=1, stream_id=0)
+    submit(env, sequencer, core, bio, end_of_group=False)  # never closed
+    groups = sequencer.unreleased_groups(0)
+    assert len(groups) == 1
+    assert groups[0].bios == [bio]
+
+
+def test_requires_at_least_one_stream():
+    env, cluster, _sequencer, _core = make_sequencer()
+    with pytest.raises(ValueError):
+        RioSequencer(env, object(), num_streams=0)

@@ -1,0 +1,279 @@
+"""Tests for the journaling file systems (Ext4 / HoraeFS / RioFS bases)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.fs import make_filesystem
+from repro.hw.ssd import FLASH_PM981, OPTANE_905P
+from repro.sim import Environment
+
+
+def build(kind, profiles=((OPTANE_905P,),), num_journals=None):
+    env = Environment()
+    cluster = Cluster(env, target_ssds=profiles)
+    fs = make_filesystem(kind, cluster, num_journals=num_journals)
+    return env, cluster, fs
+
+
+def run(env, gen):
+    return env.run_until_event(env.process(gen))
+
+
+@pytest.mark.parametrize("kind", ["ext4", "horaefs", "riofs"])
+def test_create_append_fsync(kind):
+    env, cluster, fs = build(kind, num_journals=2)
+    core = cluster.initiator.cpus.pick(0)
+
+    def proc(env):
+        file = yield from fs.create(core, "a.log")
+        yield from fs.append(core, file, nblocks=1)
+        latency = yield from fs.fsync(core, file, thread_id=0)
+        return latency
+
+    latency = run(env, proc(env))
+    assert latency > 0
+    assert fs.fsyncs == 1
+    assert fs.journals[0].commits == 1
+
+
+@pytest.mark.parametrize("kind", ["ext4", "horaefs", "riofs"])
+def test_fsync_persists_data_and_journal(kind):
+    env, cluster, fs = build(kind, num_journals=1)
+    core = cluster.initiator.cpus.pick(0)
+    holder = {}
+
+    def proc(env):
+        file = yield from fs.create(core, "a.log")
+        yield from fs.append(core, file, nblocks=2)
+        yield from fs.fsync(core, file)
+        holder["file"] = file
+
+    run(env, proc(env))
+    file = holder["file"]
+    ssd = cluster.targets[0].ssds[0]
+    # Data blocks durable after fsync.
+    for lba in file.blocks:
+        assert ssd.is_durable(lba), f"data block {lba} not durable"
+        assert ssd.durable_payload(lba)[0] == "a.log"
+    # Journal commit record durable.
+    journal = fs.journals[0]
+    journal_payloads = [
+        ssd.durable_payload(lba)
+        for lba in range(journal.area_start, journal.area_start + 8)
+        if ssd.durable_payload(lba) is not None
+    ]
+    kinds = {p[0] for p in journal_payloads}
+    assert "JC" in kinds and "JD" in kinds
+
+
+def test_fsync_on_flash_is_durable():
+    env, cluster, fs = build("riofs", profiles=((FLASH_PM981,),),
+                             num_journals=1)
+    core = cluster.initiator.cpus.pick(0)
+    holder = {}
+
+    def proc(env):
+        file = yield from fs.create(core, "f")
+        yield from fs.append(core, file, nblocks=1)
+        yield from fs.fsync(core, file)
+        holder["file"] = file
+
+    run(env, proc(env))
+    ssd = cluster.targets[0].ssds[0]
+    for lba in holder["file"].blocks:
+        assert ssd.is_durable(lba)
+
+
+def test_fsync_with_clean_file_is_noop():
+    env, cluster, fs = build("riofs", num_journals=1)
+    core = cluster.initiator.cpus.pick(0)
+
+    def proc(env):
+        file = yield from fs.create(core, "clean")
+        yield from fs.append(core, file, nblocks=1)
+        yield from fs.fsync(core, file)
+        before = fs.journals[0].commits
+        latency = yield from fs.fsync(core, file)  # nothing dirty now
+        return before, fs.journals[0].commits, latency
+
+    before, after, latency = run(env, proc(env))
+    assert before == after
+    assert latency == 0.0
+
+
+def test_overwrite_is_tagged_ipu():
+    env, cluster, fs = build("riofs", num_journals=1)
+    core = cluster.initiator.cpus.pick(0)
+
+    def proc(env):
+        file = yield from fs.create(core, "w")
+        yield from fs.append(core, file, nblocks=2)
+        yield from fs.fsync(core, file)
+        yield from fs.overwrite(core, file, block_offset=0, nblocks=1)
+        assert file.dirty[0][3] is True  # ipu flag
+        yield from fs.fsync(core, file)
+
+    run(env, proc(env))
+    # The overwritten block's PMR attribute carries the IPU flag.
+    records = cluster.targets[0].pmr.records().values()
+    assert any(getattr(r, "ipu", False) for r in records)
+
+
+def test_block_reuse_triggers_flush():
+    """Allocating freed blocks regresses to the classic FLUSH (§4.7)."""
+    env, cluster, fs = build("riofs", profiles=((FLASH_PM981,),),
+                             num_journals=1)
+    core = cluster.initiator.cpus.pick(0)
+
+    def proc(env):
+        victim = yield from fs.create(core, "victim")
+        yield from fs.append(core, victim, nblocks=2)
+        yield from fs.fsync(core, victim)
+        yield from fs.unlink(core, "victim")
+        flushes_before = cluster.targets[0].ssds[0].flushes_served
+        newfile = yield from fs.create(core, "reuser")
+        yield from fs.append(core, newfile, nblocks=1)  # reuses freed block
+        yield from fs.fsync(core, newfile)
+        return flushes_before
+
+    flushes_before = run(env, proc(env))
+    # At least the reuse barrier + the durability flush.
+    assert cluster.targets[0].ssds[0].flushes_served >= flushes_before + 2
+
+
+def test_unlink_removes_file():
+    env, cluster, fs = build("riofs", num_journals=1)
+    core = cluster.initiator.cpus.pick(0)
+
+    def proc(env):
+        yield from fs.create(core, "gone")
+        yield from fs.unlink(core, "gone")
+        missing = yield from fs.lookup(core, "gone")
+        return missing
+
+    assert run(env, proc(env)) is None
+
+
+def test_create_duplicate_rejected():
+    env, cluster, fs = build("riofs", num_journals=1)
+    core = cluster.initiator.cpus.pick(0)
+
+    def proc(env):
+        yield from fs.create(core, "dup")
+        try:
+            yield from fs.create(core, "dup")
+        except FileExistsError:
+            return "raised"
+        return "no error"
+
+    assert run(env, proc(env)) == "raised"
+
+
+def test_read_after_fsync_fetches_from_device():
+    env, cluster, fs = build("riofs", num_journals=1)
+    core = cluster.initiator.cpus.pick(0)
+
+    def proc(env):
+        file = yield from fs.create(core, "r")
+        yield from fs.append(core, file, nblocks=4)
+        yield from fs.fsync(core, file)
+        count = yield from fs.read(core, file, block_offset=0, nblocks=4)
+        return count
+
+    assert run(env, proc(env)) == 4
+
+
+def test_group_commit_batches_concurrent_fsyncs():
+    """Ext4's single journal batches fsyncs from many threads into fewer
+    on-disk transactions (group commit)."""
+    env, cluster, fs = build("ext4")
+    holder = {"done": 0}
+
+    def worker(env, t):
+        core = cluster.initiator.cpus.pick(t)
+        file = yield from fs.create(core, f"f{t}")
+        yield from fs.append(core, file, nblocks=1)
+        yield from fs.fsync(core, file, thread_id=t)
+        holder["done"] += 1
+
+    procs = [env.process(worker(env, t)) for t in range(8)]
+    env.run_until_event(env.all_of(procs))
+    assert holder["done"] == 8
+    assert fs.journals[0].commits < 8  # batching happened
+
+
+def test_per_core_journals_commit_independently():
+    env, cluster, fs = build("riofs", num_journals=4)
+
+    def worker(env, t):
+        core = cluster.initiator.cpus.pick(t)
+        file = yield from fs.create(core, f"f{t}")
+        yield from fs.append(core, file, nblocks=1)
+        yield from fs.fsync(core, file, thread_id=t)
+
+    procs = [env.process(worker(env, t)) for t in range(4)]
+    env.run_until_event(env.all_of(procs))
+    assert all(j.commits == 1 for j in fs.journals)
+
+
+def test_journal_checkpoint_recycles_space():
+    env, cluster, fs = build("riofs", num_journals=1)
+    fs.journals[0].area_blocks = 64  # tiny journal to force checkpoints
+    core = cluster.initiator.cpus.pick(0)
+
+    def proc(env):
+        file = yield from fs.create(core, "big")
+        for _ in range(40):
+            yield from fs.append(core, file, nblocks=1)
+            yield from fs.fsync(core, file)
+
+    run(env, proc(env))
+    assert fs.journals[0].checkpoints >= 1
+
+
+def test_fsync_latency_breakdown_recorded():
+    env, cluster, fs = build("riofs", num_journals=1)
+    core = cluster.initiator.cpus.pick(0)
+
+    def proc(env):
+        file = yield from fs.create(core, "b")
+        yield from fs.append(core, file, nblocks=1)
+        yield from fs.fsync(core, file)
+
+    run(env, proc(env))
+    breakdown = fs.journals[0].breakdowns[0]
+    assert breakdown.started <= breakdown.data_dispatched
+    assert breakdown.data_dispatched <= breakdown.jm_dispatched
+    assert breakdown.jm_dispatched <= breakdown.jc_dispatched
+    assert breakdown.jc_dispatched < breakdown.completed
+
+
+def test_riofs_fsync_faster_than_ext4():
+    """Figure 13: RioFS cuts fsync latency by removing synchronous waits."""
+
+    def fsync_latency(kind):
+        env, cluster, fs = build(kind, num_journals=1)
+        core = cluster.initiator.cpus.pick(0)
+        holder = {}
+
+        def proc(env):
+            file = yield from fs.create(core, "x")
+            total = 0.0
+            for _ in range(10):
+                yield from fs.append(core, file, nblocks=1)
+                total += yield from fs.fsync(core, file)
+            holder["avg"] = total / 10
+
+        env.run_until_event(env.process(proc(env)))
+        return holder["avg"]
+
+    ext4 = fsync_latency("ext4")
+    riofs = fsync_latency("riofs")
+    assert riofs < ext4
+
+
+def test_unknown_fs_kind_rejected():
+    env = Environment()
+    cluster = Cluster(env, target_ssds=((OPTANE_905P,),))
+    with pytest.raises(ValueError):
+        make_filesystem("zfs", cluster)

@@ -1,0 +1,113 @@
+"""Unit tests for the journaling engine (group commit, checkpoints,
+block-reuse barrier)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.fs.journal import CommitBreakdown, Journal, Transaction
+from repro.hw.ssd import FLASH_PM981, OPTANE_905P
+from repro.sim import Environment
+from repro.systems import make_stack
+
+
+def make_journal(profiles=((OPTANE_905P,),), area_blocks=4096,
+                 sync_data_group=False, system="rio"):
+    env = Environment()
+    cluster = Cluster(env, target_ssds=profiles)
+    stack = make_stack(system, cluster, num_streams=2)
+    journal = Journal(
+        env, stack, core=cluster.initiator.cpus.pick(0), stream_id=0,
+        area_start=1_000_000, area_blocks=area_blocks,
+        sync_data_group=sync_data_group,
+    )
+    return env, cluster, journal
+
+
+def commit_one(env, journal, metadata=None, data=None, block_reuse=False):
+    txn = Transaction(
+        metadata_blocks=metadata or [(1, ("inode", "f", 1, ()))],
+        data_extents=data or [],
+        block_reuse=block_reuse,
+    )
+    done = journal.submit(txn)
+    env.run_until_event(done)
+    return txn
+
+
+def test_commit_writes_jd_jm_jc():
+    env, cluster, journal = make_journal()
+    commit_one(env, journal)
+    ssd = cluster.targets[0].ssds[0]
+    payloads = [ssd.durable_payload(journal.area_start + i) for i in range(3)]
+    tags = [p[0] for p in payloads if p]
+    assert tags == ["JD", "JM", "JC"]
+    assert journal.commits == 1
+
+
+def test_data_extents_written_before_completion():
+    env, cluster, journal = make_journal()
+    commit_one(env, journal,
+               data=[(500, 2, [("f", 0, 1), ("f", 1, 1)], False)])
+    ssd = cluster.targets[0].ssds[0]
+    assert ssd.durable_payload(500) == ("f", 0, 1)
+    assert ssd.durable_payload(501) == ("f", 1, 1)
+
+
+def test_group_commit_batches_pending_transactions():
+    env, cluster, journal = make_journal()
+    txns = [
+        Transaction(metadata_blocks=[(i, ("inode", f"f{i}", 1, ()))])
+        for i in range(6)
+    ]
+    events = [journal.submit(txn) for txn in txns]
+    for event in events:
+        env.run_until_event(event)
+    # First commit takes one txn (it was alone), the rest batch together.
+    assert journal.commits <= 3
+
+
+def test_journal_space_wraps_and_checkpoints():
+    env, cluster, journal = make_journal(area_blocks=64)
+    for _ in range(30):
+        commit_one(env, journal)
+    assert journal.checkpoints >= 1
+    assert journal.commits == 30
+
+
+def test_block_reuse_issues_flush_barrier():
+    env, cluster, journal = make_journal(profiles=((FLASH_PM981,),))
+    flushes_before = cluster.targets[0].ssds[0].flushes_served
+    commit_one(env, journal, block_reuse=True)
+    # The reuse barrier plus the commit's own durability flush.
+    assert cluster.targets[0].ssds[0].flushes_served >= flushes_before + 2
+
+
+def test_breakdown_recorded_per_commit():
+    env, cluster, journal = make_journal()
+    commit_one(env, journal, data=[(500, 1, [("f", 0, 1)], False)])
+    assert len(journal.breakdowns) == 1
+    b = journal.breakdowns[0]
+    assert b.started <= b.data_dispatched <= b.completed
+    assert b.total > 0
+
+
+def test_sync_data_group_serializes_data_before_journal():
+    """Ext4 mode: the JM dispatch waits for the data round trip."""
+
+    def jm_delay(sync):
+        env, cluster, journal = make_journal(system="linux",
+                                             sync_data_group=sync)
+        commit_one(env, journal, data=[(500, 1, [("f", 0, 1)], False)])
+        b = journal.breakdowns[0]
+        return b.jm_dispatched - b.started
+
+    assert jm_delay(True) > jm_delay(False) + 10e-6
+
+
+def test_area_too_small_rejected():
+    env = Environment()
+    cluster = Cluster(env, target_ssds=((OPTANE_905P,),))
+    stack = make_stack("rio", cluster, num_streams=1)
+    with pytest.raises(ValueError):
+        Journal(env, stack, core=cluster.initiator.cpus.pick(0),
+                stream_id=0, area_start=0, area_blocks=4)

@@ -1,0 +1,68 @@
+"""Unit tests for the journal-area parser used by FS recovery."""
+
+from repro.fs.recovery import _parse_journal
+
+
+def jd(txn):
+    return ("JD", txn)
+
+
+def jm(lba, payload=("inode", "f", 1, ())):
+    return ("JM", lba, payload)
+
+
+def jc(txn):
+    return ("JC", txn)
+
+
+def test_committed_transaction_parsed():
+    txns, incomplete = _parse_journal([jd(1), jm(10), jm(11), jc(1)])
+    assert incomplete == 0
+    assert len(txns) == 1
+    txn_id, metadata = txns[0]
+    assert txn_id == 1
+    assert [lba for lba, _p in metadata] == [10, 11]
+
+
+def test_missing_commit_record_is_incomplete():
+    txns, incomplete = _parse_journal([jd(1), jm(10)])
+    assert txns == []
+    assert incomplete == 1
+
+
+def test_mismatched_commit_id_is_incomplete():
+    txns, incomplete = _parse_journal([jd(1), jm(10), jc(2)])
+    assert txns == []
+    assert incomplete == 1
+
+
+def test_torn_transaction_followed_by_complete_one():
+    blocks = [jd(1), jm(10), jd(2), jm(20), jc(2)]
+    txns, incomplete = _parse_journal(blocks)
+    assert incomplete == 1  # txn 1 torn
+    assert [t for t, _m in txns] == [2]
+
+
+def test_stale_commit_without_descriptor_is_ignored():
+    txns, incomplete = _parse_journal([jc(7), jd(8), jm(1), jc(8)])
+    assert [t for t, _m in txns] == [8]
+
+
+def test_non_journal_blocks_are_skipped():
+    blocks = [None, "garbage", jd(3), None, jm(5), 42, jc(3), None]
+    txns, incomplete = _parse_journal(blocks)
+    assert [t for t, _m in txns] == [3]
+    assert incomplete == 0
+
+
+def test_multiple_transactions_in_order():
+    blocks = [jd(1), jm(1), jc(1), jd(2), jm(2), jc(2), jd(3), jm(3), jc(3)]
+    txns, incomplete = _parse_journal(blocks)
+    assert [t for t, _m in txns] == [1, 2, 3]
+    assert incomplete == 0
+
+
+def test_empty_area():
+    txns, incomplete = _parse_journal([None] * 16)
+    assert txns == []
+    assert incomplete == 0

@@ -1,0 +1,149 @@
+"""Tests for rename/truncate and their journaling/consistency behaviour."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.fs import make_filesystem, recover_filesystem
+from repro.hw.ssd import FLASH_PM981, OPTANE_905P
+from repro.sim import Environment
+
+
+def build(kind="riofs", profiles=((OPTANE_905P,),)):
+    env = Environment()
+    cluster = Cluster(env, target_ssds=profiles)
+    fs = make_filesystem(kind, cluster, num_journals=2)
+    return env, cluster, fs
+
+
+def run(env, gen):
+    return env.run_until_event(env.process(gen))
+
+
+def test_rename_moves_namespace_entry():
+    env, cluster, fs = build()
+    core = cluster.initiator.cpus.pick(0)
+
+    def proc(env):
+        file = yield from fs.create(core, "old")
+        yield from fs.rename(core, "old", "new")
+        missing = yield from fs.lookup(core, "old")
+        found = yield from fs.lookup(core, "new")
+        return missing, found, file
+
+    missing, found, file = run(env, proc(env))
+    assert missing is None
+    assert found is file
+    assert file.name == "new"
+    assert file.metadata_dirty
+
+
+def test_rename_validation():
+    env, cluster, fs = build()
+    core = cluster.initiator.cpus.pick(0)
+
+    def proc(env):
+        yield from fs.create(core, "a")
+        yield from fs.create(core, "b")
+        try:
+            yield from fs.rename(core, "missing", "x")
+        except FileNotFoundError:
+            pass
+        else:
+            return "no FileNotFoundError"
+        try:
+            yield from fs.rename(core, "a", "b")
+        except FileExistsError:
+            return "ok"
+        return "no FileExistsError"
+
+    assert run(env, proc(env)) == "ok"
+
+
+def test_rename_survives_fsync_and_recovery():
+    env, cluster, fs = build()
+    core = cluster.initiator.cpus.pick(0)
+
+    def proc(env):
+        file = yield from fs.create(core, "before")
+        yield from fs.append(core, file, nblocks=1)
+        yield from fs.fsync(core, file)
+        yield from fs.rename(core, "before", "after")
+        yield from fs.fsync(core, file)
+
+    run(env, proc(env))
+
+    def recover(env):
+        yield from recover_filesystem(fs, core)
+
+    run(env, recover(env))
+    assert "after" in fs.files
+    # The old name may persist at a lower version; the newest wins.
+    if "before" in fs.files:
+        assert fs.files["before"].version < fs.files["after"].version
+
+
+def test_truncate_frees_blocks_to_free_list():
+    env, cluster, fs = build()
+    core = cluster.initiator.cpus.pick(0)
+
+    def proc(env):
+        file = yield from fs.create(core, "t")
+        yield from fs.append(core, file, nblocks=4)
+        yield from fs.fsync(core, file)
+        freed = yield from fs.truncate(core, file, new_size_blocks=1)
+        return file, freed
+
+    file, freed = run(env, proc(env))
+    assert freed == 3
+    assert file.size_blocks == 1
+    assert len(fs._free_blocks) == 3
+
+
+def test_truncate_then_allocate_is_block_reuse():
+    """Blocks freed by truncate trigger the reuse FLUSH when reallocated."""
+    env, cluster, fs = build(profiles=((FLASH_PM981,),))
+    core = cluster.initiator.cpus.pick(0)
+
+    def proc(env):
+        victim = yield from fs.create(core, "v")
+        yield from fs.append(core, victim, nblocks=2)
+        yield from fs.fsync(core, victim)
+        yield from fs.truncate(core, victim, 0)
+        flushes = cluster.targets[0].ssds[0].flushes_served
+        other = yield from fs.create(core, "o")
+        yield from fs.append(core, other, nblocks=1)  # reuses a freed block
+        yield from fs.fsync(core, other)
+        return flushes
+
+    flushes_before = run(env, proc(env))
+    assert cluster.targets[0].ssds[0].flushes_served >= flushes_before + 2
+
+
+def test_truncate_validation():
+    env, cluster, fs = build()
+    core = cluster.initiator.cpus.pick(0)
+
+    def proc(env):
+        file = yield from fs.create(core, "t")
+        yield from fs.append(core, file, nblocks=2)
+        try:
+            yield from fs.truncate(core, file, 5)
+        except ValueError:
+            return "ok"
+        return "no error"
+
+    assert run(env, proc(env)) == "ok"
+
+
+def test_truncate_drops_dirty_extents_of_freed_blocks():
+    env, cluster, fs = build()
+    core = cluster.initiator.cpus.pick(0)
+
+    def proc(env):
+        file = yield from fs.create(core, "t")
+        yield from fs.append(core, file, nblocks=3)  # dirty, not fsynced
+        yield from fs.truncate(core, file, 0)
+        return file
+
+    file = run(env, proc(env))
+    assert file.dirty == []

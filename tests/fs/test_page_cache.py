@@ -1,0 +1,91 @@
+"""Tests for the clean-page LRU cache in the read path."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.fs import make_filesystem
+from repro.hw.ssd import OPTANE_905P
+from repro.sim import Environment
+
+
+def build(capacity=None):
+    env = Environment()
+    cluster = Cluster(env, target_ssds=((OPTANE_905P,),))
+    fs = make_filesystem("riofs", cluster, num_journals=1)
+    if capacity is not None:
+        fs.page_cache_capacity = capacity
+    return env, cluster, fs
+
+
+def run(env, gen):
+    return env.run_until_event(env.process(gen))
+
+
+def test_second_read_is_a_cache_hit():
+    env, cluster, fs = build()
+    core = cluster.initiator.cpus.pick(0)
+
+    def proc(env):
+        file = yield from fs.create(core, "f")
+        yield from fs.append(core, file, nblocks=4)
+        yield from fs.fsync(core, file)
+        yield from fs.read(core, file, 0, 4)   # cold: device reads
+        misses_after_first = fs.cache_misses
+        yield from fs.read(core, file, 0, 4)   # warm: pure CPU
+        return misses_after_first
+
+    misses_after_first = run(env, proc(env))
+    assert misses_after_first == 4
+    assert fs.cache_misses == 4  # no new misses on the warm read
+    assert fs.cache_hits >= 4
+
+
+def test_dirty_data_counts_as_hit():
+    env, cluster, fs = build()
+    core = cluster.initiator.cpus.pick(0)
+
+    def proc(env):
+        file = yield from fs.create(core, "f")
+        yield from fs.append(core, file, nblocks=2)  # dirty, not fsynced
+        yield from fs.read(core, file, 0, 2)
+
+    run(env, proc(env))
+    assert fs.cache_misses == 0
+    assert fs.cache_hits == 2
+
+
+def test_lru_eviction():
+    env, cluster, fs = build(capacity=4)
+    core = cluster.initiator.cpus.pick(0)
+
+    def proc(env):
+        file = yield from fs.create(core, "f")
+        yield from fs.append(core, file, nblocks=8)
+        yield from fs.fsync(core, file)
+        yield from fs.read(core, file, 0, 8)  # fills + overflows the cache
+        misses = fs.cache_misses
+        yield from fs.read(core, file, 0, 2)  # evicted: misses again
+        return misses
+
+    misses = run(env, proc(env))
+    assert fs.cache_misses > misses
+
+
+def test_warm_read_is_faster():
+    env, cluster, fs = build()
+    core = cluster.initiator.cpus.pick(0)
+
+    def proc(env):
+        file = yield from fs.create(core, "f")
+        yield from fs.append(core, file, nblocks=4)
+        yield from fs.fsync(core, file)
+        t0 = env.now
+        yield from fs.read(core, file, 0, 4)
+        cold = env.now - t0
+        t0 = env.now
+        yield from fs.read(core, file, 0, 4)
+        warm = env.now - t0
+        return cold, warm
+
+    cold, warm = run(env, proc(env))
+    assert warm < cold / 3

@@ -1,0 +1,36 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, main
+
+
+def test_list_prints_every_figure(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in FIGURES:
+        assert name in out
+
+
+def test_run_unknown_figure_fails(capsys):
+    assert main(["run", "fig99"]) == 2
+    assert "unknown figure" in capsys.readouterr().err
+
+
+def test_run_figure_prints_table(capsys):
+    assert main(["run", "fig14"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 14" in out
+    assert "riofs" in out
+
+
+def test_run_with_duration(capsys):
+    assert main(["run", "fig3", "--duration", "0.001"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 3" in out
+
+
+def test_every_registered_figure_is_callable():
+    for name, (fn, description, _takes_duration) in FIGURES.items():
+        assert callable(fn), name
+        assert description

@@ -1,0 +1,71 @@
+"""Unit tests for the experiment harness plumbing."""
+
+import pytest
+
+from repro.harness.experiment import (
+    LAYOUTS,
+    FigureResult,
+    build_cluster,
+    build_stack,
+    fio_run,
+)
+
+
+def test_layouts_cover_the_paper_testbed():
+    assert "flash" in LAYOUTS
+    assert "optane" in LAYOUTS
+    assert "4ssd-1target" in LAYOUTS
+    assert "4ssd-2targets" in LAYOUTS
+    assert len(LAYOUTS["4ssd-2targets"]) == 2  # two target servers
+    assert sum(len(t) for t in LAYOUTS["4ssd-1target"]) == 4
+
+
+def test_build_cluster_unknown_layout_rejected():
+    with pytest.raises(ValueError):
+        build_cluster("tape-library")
+
+
+def test_build_cluster_produces_connected_testbed():
+    cluster = build_cluster("4ssd-2targets")
+    assert len(cluster.targets) == 2
+    assert len(cluster.namespaces) == 4
+    assert all(ns.endpoints for ns in cluster.namespaces)
+
+
+def test_figure_result_series_and_column():
+    result = FigureResult("F", "test", headers=["system", "threads", "kiops"])
+    result.add(system="rio", threads=1, kiops=10.0)
+    result.add(system="rio", threads=2, kiops=20.0)
+    result.add(system="linux", threads=1, kiops=1.0)
+    assert len(result.series(system="rio")) == 2
+    assert result.column("kiops", system="rio", threads=2) == [20.0]
+    assert result.column("kiops", system="linux") == [1.0]
+
+
+def test_figure_result_render_contains_rows():
+    result = FigureResult("Figure X", "demo", headers=["a", "b"])
+    result.add(a="hello", b=1234.5)
+    result.notes.append("a note")
+    text = result.render()
+    assert "Figure X" in text
+    assert "hello" in text
+    assert "1.2K" in text  # SI formatting
+    assert "note: a note" in text
+
+
+def test_figure_result_render_empty():
+    result = FigureResult("Empty", "no rows", headers=["a"])
+    assert "Empty" in result.render()
+
+
+def test_fio_run_builds_fresh_testbed_each_time():
+    first = fio_run("orderless", "optane", threads=1, duration=0.5e-3)
+    second = fio_run("orderless", "optane", threads=1, duration=0.5e-3)
+    assert first.ops == second.ops  # deterministic & independent
+
+
+def test_build_stack_names():
+    cluster = build_cluster("optane")
+    assert build_stack("rio", cluster, 2).name == "rio"
+    cluster = build_cluster("optane")
+    assert build_stack("rio-nomerge", cluster, 2).name == "rio-nomerge"

@@ -1,0 +1,48 @@
+"""Tests for result rendering and metric edge cases."""
+
+import pytest
+
+from repro.apps.fio import BlockWorkloadResult
+from repro.harness.experiment import FigureResult, _fmt
+
+
+def test_render_markdown_table():
+    result = FigureResult("Fig X", "demo", headers=["system", "kiops"])
+    result.add(system="rio", kiops=512.0)
+    result.add(system="linux", kiops=32.5)
+    result.notes.append("a note")
+    md = result.render_markdown()
+    assert "### Fig X: demo" in md
+    assert "| system | kiops |" in md
+    assert "| rio | 512.000 |" in md
+    assert "*a note*" in md
+
+
+def test_fmt_si_suffixes():
+    assert _fmt(None) == "-"
+    assert _fmt(0.0) == "0"
+    assert _fmt(1_500_000.0) == "1.50M"
+    assert _fmt(2_500.0) == "2.5K"
+    assert _fmt(0.000_004) == "4.0u"
+    assert _fmt(3.14159) == "3.142"
+    assert _fmt("text") == "text"
+    assert _fmt(7) == "7"
+
+
+def test_block_workload_result_zero_guards():
+    result = BlockWorkloadResult(system="x", threads=1)
+    assert result.iops == 0.0
+    assert result.mb_per_sec == 0.0
+    assert result.initiator_efficiency == 0.0
+    assert result.target_efficiency == 0.0
+
+
+def test_block_workload_result_derived_metrics():
+    result = BlockWorkloadResult(system="x", threads=1, ops=1000,
+                                 bytes_written=4096 * 1000, elapsed=1e-2)
+    result.initiator_busy_cores = 0.5
+    result.target_busy_cores = 0.25
+    assert result.iops == pytest.approx(100_000)
+    assert result.mb_per_sec == pytest.approx(409.6)
+    assert result.initiator_efficiency == pytest.approx(200_000)
+    assert result.target_efficiency == pytest.approx(400_000)

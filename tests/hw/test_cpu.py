@@ -1,0 +1,128 @@
+"""Unit tests for CPU core models and busy accounting."""
+
+import pytest
+
+from repro.hw.cpu import Core, CpuSet
+from repro.sim import Environment
+
+
+def test_core_run_charges_time():
+    env = Environment()
+    core = Core(env, 0)
+    done = []
+
+    def proc(env):
+        yield from core.run(5e-6)
+        done.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert done == [pytest.approx(5e-6)]
+
+
+def test_core_serializes_work():
+    env = Environment()
+    core = Core(env, 0)
+    finish_times = []
+
+    def proc(env):
+        yield from core.run(1e-6)
+        finish_times.append(env.now)
+
+    for _ in range(3):
+        env.process(proc(env))
+    env.run()
+    assert finish_times == [
+        pytest.approx(1e-6),
+        pytest.approx(2e-6),
+        pytest.approx(3e-6),
+    ]
+
+
+def test_core_rejects_negative_work():
+    env = Environment()
+    core = Core(env, 0)
+
+    def proc(env):
+        yield from core.run(-1.0)
+
+    env.process(proc(env))
+    with pytest.raises(ValueError):
+        env.run()
+
+
+def test_busy_time_excludes_idle():
+    env = Environment()
+    core = Core(env, 0)
+
+    def proc(env):
+        yield from core.run(2e-6)
+        yield env.timeout(10e-6)  # idle gap
+        yield from core.run(3e-6)
+
+    env.process(proc(env))
+    env.run()
+    assert core.tracker.busy_time == pytest.approx(5e-6)
+
+
+def test_cpuset_busy_cores_sums_over_cores():
+    env = Environment()
+    cpus = CpuSet(env, ncores=4)
+
+    def proc(env, core):
+        yield from core.run(10e-6)
+
+    # Two cores fully busy for the whole window.
+    env.process(proc(env, cpus.pick(0)))
+    env.process(proc(env, cpus.pick(1)))
+    cpus.start_window()
+    env.run(until=10e-6)
+    cpus.stop_window()
+    assert cpus.busy_cores(elapsed=10e-6) == pytest.approx(2.0)
+
+
+def test_cpuset_pick_wraps_around():
+    env = Environment()
+    cpus = CpuSet(env, ncores=3)
+    assert cpus.pick(0) is cpus.cores[0]
+    assert cpus.pick(3) is cpus.cores[0]
+    assert cpus.pick(5) is cpus.cores[2]
+
+
+def test_cpuset_requires_core():
+    env = Environment()
+    with pytest.raises(ValueError):
+        CpuSet(env, ncores=0)
+
+
+def test_least_loaded_prefers_empty_queue():
+    env = Environment()
+    cpus = CpuSet(env, ncores=2)
+
+    def hog(env):
+        yield from cpus.pick(0).run(1.0)
+
+    def waiter(env):
+        yield from cpus.pick(0).run(1.0)
+
+    env.process(hog(env))
+    env.process(waiter(env))  # queued behind the hog
+    env.step()  # let the hog start
+    env.step()
+    assert cpus.least_loaded() is cpus.cores[1]
+
+
+def test_window_isolates_measurement():
+    env = Environment()
+    cpus = CpuSet(env, ncores=1)
+
+    def proc(env):
+        yield from cpus.pick(0).run(5e-6)  # warm-up work, pre-window
+        cpus.start_window()
+        yield from cpus.pick(0).run(2e-6)
+        cpus.stop_window()
+        yield from cpus.pick(0).run(7e-6)  # post-window work
+
+    env.process(proc(env))
+    env.run()
+    assert cpus.busy_time() == pytest.approx(2e-6)

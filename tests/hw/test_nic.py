@@ -1,0 +1,66 @@
+"""Unit tests for the NIC bandwidth pipes."""
+
+import pytest
+
+from repro.hw.nic import NIC_BANDWIDTH, Nic
+from repro.sim import Environment
+
+
+def test_tx_occupancy_time_matches_bandwidth():
+    env = Environment()
+    nic = Nic(env, bandwidth=1e9)
+
+    def proc(env):
+        yield from nic.occupy_tx(1_000_000)  # 1 MB at 1 GB/s = 1 ms
+
+    env.run_until_event(env.process(proc(env)))
+    assert env.now == pytest.approx(1e-3)
+    assert nic.bytes_sent == 1_000_000
+
+
+def test_tx_serializes_rx_does_not_block_tx():
+    env = Environment()
+    nic = Nic(env, bandwidth=1e9)
+    finished = {}
+
+    def tx(env, tag):
+        yield from nic.occupy_tx(1_000_000)
+        finished[tag] = env.now
+
+    def rx(env):
+        yield from nic.occupy_rx(1_000_000)
+        finished["rx"] = env.now
+
+    env.process(tx(env, "tx1"))
+    env.process(tx(env, "tx2"))
+    env.process(rx(env))
+    env.run()
+    assert finished["tx1"] == pytest.approx(1e-3)
+    assert finished["tx2"] == pytest.approx(2e-3)  # serialized behind tx1
+    assert finished["rx"] == pytest.approx(1e-3)  # full duplex
+
+
+def test_default_bandwidth_is_200gbps():
+    env = Environment()
+    nic = Nic(env)
+    assert nic.bandwidth == NIC_BANDWIDTH == 25e9
+
+
+def test_invalid_bandwidth_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Nic(env, bandwidth=0)
+
+
+def test_byte_counters_accumulate():
+    env = Environment()
+    nic = Nic(env)
+
+    def proc(env):
+        yield from nic.occupy_tx(100)
+        yield from nic.occupy_rx(200)
+        yield from nic.occupy_tx(300)
+
+    env.run_until_event(env.process(proc(env)))
+    assert nic.bytes_sent == 400
+    assert nic.bytes_received == 200

@@ -1,0 +1,73 @@
+"""Unit tests for the Persistent Memory Region model."""
+
+import pytest
+
+from repro.hw.cpu import Core
+from repro.hw.pmr import PMR_WRITE_LATENCY, PersistentMemoryRegion
+from repro.sim import Environment
+
+
+def test_persist_stores_record_and_charges_cpu():
+    env = Environment()
+    core = Core(env, 0)
+    pmr = PersistentMemoryRegion(env)
+
+    def proc(env):
+        yield from pmr.persist(core, offset=0, nbytes=32, record={"seq": 1})
+
+    env.process(proc(env))
+    env.run()
+    assert pmr.read(0) == {"seq": 1}
+    assert env.now == pytest.approx(PMR_WRITE_LATENCY)
+    assert core.tracker.busy_time == pytest.approx(PMR_WRITE_LATENCY)
+
+
+def test_persist_latency_scales_with_size():
+    env = Environment()
+    core = Core(env, 0)
+    pmr = PersistentMemoryRegion(env)
+
+    def proc(env):
+        yield from pmr.persist(core, offset=0, nbytes=128, record="big")
+
+    env.process(proc(env))
+    env.run()
+    assert env.now == pytest.approx(4 * PMR_WRITE_LATENCY)
+
+
+def test_out_of_range_rejected():
+    env = Environment()
+    pmr = PersistentMemoryRegion(env, size=1024)
+    with pytest.raises(ValueError):
+        pmr.persist_instant(offset=1000, nbytes=32, record="x")
+    with pytest.raises(ValueError):
+        pmr.persist_instant(offset=-1, nbytes=32, record="x")
+
+
+def test_records_survive_crash():
+    env = Environment()
+    pmr = PersistentMemoryRegion(env)
+    pmr.persist_instant(0, 32, "alpha")
+    pmr.persist_instant(32, 32, "beta")
+    pmr.crash()
+    assert pmr.records() == {0: "alpha", 32: "beta"}
+
+
+def test_erase_and_clear():
+    env = Environment()
+    pmr = PersistentMemoryRegion(env)
+    pmr.persist_instant(0, 32, "a")
+    pmr.persist_instant(32, 32, "b")
+    pmr.erase(0)
+    assert pmr.read(0) is None
+    assert pmr.read(32) == "b"
+    pmr.clear()
+    assert pmr.records() == {}
+
+
+def test_overwrite_replaces_record():
+    env = Environment()
+    pmr = PersistentMemoryRegion(env)
+    pmr.persist_instant(64, 32, "old")
+    pmr.persist_instant(64, 32, "new")
+    assert pmr.read(64) == "new"

@@ -1,0 +1,255 @@
+"""Unit tests for the NVMe SSD models (cache, FLUSH, PLP, crash)."""
+
+import pytest
+
+from repro.hw.ssd import (
+    BLOCK_SIZE,
+    FLASH_PM981,
+    OPTANE_905P,
+    DiskIO,
+    NvmeSsd,
+    SsdProfile,
+)
+from repro.sim import Environment
+
+
+def make_ssd(profile=OPTANE_905P):
+    env = Environment()
+    return env, NvmeSsd(env, profile, name="ssd0")
+
+
+def run_io(env, ssd, io):
+    return env.run_until_event(ssd.submit(io))
+
+
+def test_diskio_validation():
+    with pytest.raises(ValueError):
+        DiskIO(op="write", lba=0, nblocks=0)
+    with pytest.raises(ValueError):
+        DiskIO(op="scribble", lba=0, nblocks=1)
+    with pytest.raises(ValueError):
+        DiskIO(op="write", lba=0, nblocks=2, payload=["only-one"])
+
+
+def test_plp_write_is_durable_at_completion():
+    env, ssd = make_ssd(OPTANE_905P)
+    run_io(env, ssd, DiskIO(op="write", lba=10, nblocks=1, payload=["v1"]))
+    assert ssd.is_durable(10)
+    assert ssd.durable_payload(10) == "v1"
+
+
+def test_plp_write_latency_is_profile_scale():
+    env, ssd = make_ssd(OPTANE_905P)
+    run_io(env, ssd, DiskIO(op="write", lba=0, nblocks=1))
+    # ~10us fixed latency plus a couple of microseconds of transfer.
+    assert 8e-6 < env.now < 20e-6
+
+
+def test_flash_write_completes_before_durability():
+    env, ssd = make_ssd(FLASH_PM981)
+    run_io(env, ssd, DiskIO(op="write", lba=5, nblocks=1, payload=["x"]))
+    # Completed into the volatile cache: visible to reads, not durable yet.
+    assert ssd.current_payload(5) == "x"
+    assert not ssd.is_durable(5)
+
+
+def test_flash_background_drain_eventually_persists():
+    env, ssd = make_ssd(FLASH_PM981)
+    run_io(env, ssd, DiskIO(op="write", lba=5, nblocks=1, payload=["x"]))
+    env.run(until=env.now + 10e-3)
+    assert ssd.is_durable(5)
+    assert ssd.durable_payload(5) == "x"
+
+
+def test_flush_makes_prior_writes_durable():
+    env, ssd = make_ssd(FLASH_PM981)
+    for i in range(8):
+        run_io(env, ssd, DiskIO(op="write", lba=i, nblocks=1, payload=[f"b{i}"]))
+    run_io(env, ssd, DiskIO(op="flush"))
+    for i in range(8):
+        assert ssd.is_durable(i), f"lba {i} not durable after FLUSH"
+
+
+def test_flush_cost_dominates_on_flash():
+    env, ssd = make_ssd(FLASH_PM981)
+    run_io(env, ssd, DiskIO(op="write", lba=0, nblocks=1))
+    before = env.now
+    run_io(env, ssd, DiskIO(op="flush"))
+    flush_time = env.now - before
+    assert flush_time > 200e-6  # hundreds of microseconds (Lesson 1)
+
+
+def test_flush_is_cheap_on_plp():
+    env, ssd = make_ssd(OPTANE_905P)
+    run_io(env, ssd, DiskIO(op="write", lba=0, nblocks=1))
+    before = env.now
+    run_io(env, ssd, DiskIO(op="flush"))
+    assert env.now - before < 5e-6  # Lesson 2: FLUSH marginal with PLP
+
+
+def test_flush_covers_overwritten_cached_block():
+    """A FLUSH after an overwrite must leave a durable copy of the LBA."""
+    env, ssd = make_ssd(FLASH_PM981)
+    run_io(env, ssd, DiskIO(op="write", lba=3, nblocks=1, payload=["old"]))
+    run_io(env, ssd, DiskIO(op="write", lba=3, nblocks=1, payload=["new"]))
+    run_io(env, ssd, DiskIO(op="flush"))
+    assert ssd.is_durable(3)
+    assert ssd.durable_payload(3) == "new"
+
+
+def test_fua_write_is_durable_at_completion_on_flash():
+    env, ssd = make_ssd(FLASH_PM981)
+    run_io(env, ssd, DiskIO(op="write", lba=9, nblocks=1, payload=["f"], fua=True))
+    assert ssd.is_durable(9)
+
+
+def test_read_returns_cached_data():
+    env, ssd = make_ssd(FLASH_PM981)
+    run_io(env, ssd, DiskIO(op="write", lba=7, nblocks=1, payload=["fresh"]))
+    read = DiskIO(op="read", lba=7, nblocks=1)
+    run_io(env, ssd, read)
+    assert read.payload == ["fresh"]
+
+
+def test_read_returns_none_for_unwritten():
+    env, ssd = make_ssd(OPTANE_905P)
+    read = DiskIO(op="read", lba=1234, nblocks=1)
+    run_io(env, ssd, read)
+    assert read.payload == [None]
+
+
+def test_multiblock_write_persists_all_blocks():
+    env, ssd = make_ssd(OPTANE_905P)
+    run_io(env, ssd, DiskIO(op="write", lba=100, nblocks=4,
+                            payload=["a", "b", "c", "d"]))
+    assert [ssd.durable_payload(100 + i) for i in range(4)] == ["a", "b", "c", "d"]
+
+
+def test_crash_loses_volatile_cache():
+    env, ssd = make_ssd(FLASH_PM981)
+    run_io(env, ssd, DiskIO(op="write", lba=1, nblocks=1, payload=["gone"]))
+    ssd.crash()
+    ssd.restart()
+    assert not ssd.is_durable(1)
+    assert ssd.current_payload(1) is None
+
+
+def test_crash_preserves_durable_media():
+    env, ssd = make_ssd(FLASH_PM981)
+    run_io(env, ssd, DiskIO(op="write", lba=1, nblocks=1, payload=["kept"]))
+    run_io(env, ssd, DiskIO(op="flush"))
+    ssd.crash()
+    ssd.restart()
+    assert ssd.durable_payload(1) == "kept"
+
+
+def test_crash_fails_new_submissions():
+    env, ssd = make_ssd(OPTANE_905P)
+    ssd.crash()
+    done = ssd.submit(DiskIO(op="write", lba=0, nblocks=1))
+    assert done.triggered and not done.ok
+
+
+def test_inflight_commands_never_complete_after_crash():
+    env, ssd = make_ssd(OPTANE_905P)
+    done = ssd.submit(DiskIO(op="write", lba=0, nblocks=1))
+    env.run(until=1e-6)  # mid-flight
+    ssd.crash()
+    env.run(until=1e-3)
+    assert not done.triggered
+
+
+def test_restart_requires_crash():
+    env, ssd = make_ssd(OPTANE_905P)
+    with pytest.raises(RuntimeError):
+        ssd.restart()
+
+
+def test_ssd_usable_after_restart():
+    env, ssd = make_ssd(FLASH_PM981)
+    ssd.crash()
+    ssd.restart()
+    run_io(env, ssd, DiskIO(op="write", lba=2, nblocks=1, payload=["post"]))
+    run_io(env, ssd, DiskIO(op="flush"))
+    assert ssd.durable_payload(2) == "post"
+
+
+def test_crash_during_drain_leaves_partial_durability():
+    """After a burst + crash, some but not necessarily all writes persist —
+    the uncertain post-crash state Rio's recovery must handle (§4.4)."""
+    env, ssd = make_ssd(FLASH_PM981)
+    count = 512
+    for i in range(count):
+        ssd.submit(DiskIO(op="write", lba=i, nblocks=1, payload=[i]))
+    env.run(until=300e-6)  # drain is underway but cannot have finished
+    ssd.crash()
+    durable = sum(1 for i in range(count) if ssd.is_durable(i))
+    assert 0 < durable < count
+
+
+def test_sustained_flash_throughput_is_media_limited():
+    """With the cache saturated, write throughput approaches media bandwidth."""
+    env = Environment()
+    small_cache = SsdProfile(
+        name="tiny-cache",
+        plp=False,
+        write_latency=15e-6,
+        read_latency=80e-6,
+        interface_bandwidth=3.2e9,
+        media_bandwidth=2.0e9,
+        chips=8,
+        cache_capacity=1 * 1024 * 1024,
+        flush_base_latency=350e-6,
+        max_transfer=512 * 1024,
+    )
+    ssd = NvmeSsd(env, small_cache, name="ssd0")
+    completed = []
+
+    def writer(env, start):
+        lba = start
+        while env.now < 50e-3:
+            io = DiskIO(op="write", lba=lba, nblocks=8)
+            lba += 8
+            yield ssd.submit(io)
+            completed.append(env.now)
+
+    for t in range(8):
+        env.process(writer(env, t * 10_000_000))
+    env.run(until=50e-3)
+    nbytes = len(completed) * 8 * BLOCK_SIZE
+    bandwidth = nbytes / 50e-3
+    assert 1.2e9 < bandwidth < 2.4e9  # near media_bandwidth=2.0 GB/s
+
+
+def test_optane_4k_iops_is_realistic():
+    env, ssd = make_ssd(OPTANE_905P)
+    completed = [0]
+
+    def writer(env, start):
+        lba = start
+        while env.now < 20e-3:
+            yield ssd.submit(DiskIO(op="write", lba=lba, nblocks=1))
+            completed[0] += 1
+            lba += 1
+
+    for t in range(8):
+        env.process(writer(env, t * 1_000_000))
+    env.run(until=20e-3)
+    iops = completed[0] / 20e-3
+    assert 300_000 < iops < 800_000  # ~0.5M 4K write IOPS class device
+
+
+def test_plp_profile_rejects_cache():
+    with pytest.raises(ValueError):
+        SsdProfile(
+            name="bad",
+            plp=True,
+            write_latency=1e-5,
+            read_latency=1e-5,
+            interface_bandwidth=1e9,
+            media_bandwidth=1e9,
+            chips=4,
+            cache_capacity=1024,
+            flush_base_latency=1e-6,
+            max_transfer=131072,
+        )

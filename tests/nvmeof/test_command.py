@@ -1,0 +1,155 @@
+"""Bit-level tests of the Rio NVMe-oF command layout (paper Table 1)."""
+
+import struct
+
+import pytest
+
+from repro.nvmeof.command import (
+    FLAG_BOUNDARY,
+    FLAG_IPU,
+    FLAG_MERGED,
+    FLAG_SPLIT,
+    OP_FLUSH,
+    OP_READ,
+    OP_WRITE,
+    RIO_OP_SUBMIT,
+    NvmeCommand,
+    NvmeResponse,
+    RioFields,
+)
+
+
+def roundtrip(cmd):
+    return NvmeCommand.unpack(cmd.pack())
+
+
+def test_sqe_is_64_bytes():
+    cmd = NvmeCommand(opcode=OP_WRITE, cid=1, nblocks=1)
+    assert len(cmd.pack()) == 64
+
+
+def test_plain_write_roundtrip():
+    cmd = NvmeCommand(opcode=OP_WRITE, cid=77, nsid=2, slba=123456, nblocks=8,
+                      fua=True, flush_after=True)
+    out = roundtrip(cmd)
+    assert out.opcode == OP_WRITE
+    assert out.cid == 77
+    assert out.nsid == 2
+    assert out.slba == 123456
+    assert out.nblocks == 8
+    assert out.fua is True
+    assert out.flush_after is True
+
+
+def test_rio_fields_roundtrip():
+    rio = RioFields(
+        rio_op=RIO_OP_SUBMIT,
+        start_seq=1000,
+        end_seq=1003,
+        prev=999,
+        num=4,
+        stream_id=17,
+        flags=FLAG_BOUNDARY | FLAG_MERGED,
+    )
+    cmd = NvmeCommand(opcode=OP_WRITE, cid=5, slba=64, nblocks=12, rio=rio)
+    out = roundtrip(cmd)
+    assert out.rio.rio_op == RIO_OP_SUBMIT
+    assert out.rio.start_seq == 1000
+    assert out.rio.end_seq == 1003
+    assert out.rio.prev == 999
+    assert out.rio.num == 4
+    assert out.rio.stream_id == 17
+    assert out.rio.boundary
+    assert out.rio.merged
+    assert not out.rio.split
+    assert not out.rio.ipu
+
+
+def test_rio_fields_occupy_reserved_dwords():
+    """Per Table 1: seq in dword 2/3, prev in dword 4, num+stream in dword 5,
+    rio op in dword0 bits 10-13, flags in dword12 bits 16-19."""
+    rio = RioFields(rio_op=0x1, start_seq=0xAABBCCDD, end_seq=0x11223344,
+                    prev=0x55667788, num=0x1234, stream_id=0x5678,
+                    flags=FLAG_SPLIT | FLAG_IPU)
+    cmd = NvmeCommand(opcode=OP_WRITE, cid=0, slba=0, nblocks=1, rio=rio)
+    dwords = struct.unpack("<16I", cmd.pack())
+    assert (dwords[0] >> 10) & 0xF == 0x1
+    assert dwords[2] == 0xAABBCCDD
+    assert dwords[3] == 0x11223344
+    assert dwords[4] == 0x55667788
+    assert dwords[5] & 0xFFFF == 0x1234
+    assert (dwords[5] >> 16) & 0xFFFF == 0x5678
+    assert (dwords[12] >> 16) & 0xF == (FLAG_SPLIT | FLAG_IPU)
+
+
+def test_slba_spans_two_dwords():
+    big_lba = (3 << 32) | 42
+    cmd = NvmeCommand(opcode=OP_WRITE, cid=0, slba=big_lba, nblocks=1)
+    out = roundtrip(cmd)
+    assert out.slba == big_lba
+
+
+def test_nlb_is_zero_based_on_wire():
+    cmd = NvmeCommand(opcode=OP_WRITE, cid=0, nblocks=1)
+    dwords = struct.unpack("<16I", cmd.pack())
+    assert dwords[12] & 0xFFFF == 0  # 1 block encodes as 0
+
+
+def test_flush_command_roundtrip():
+    cmd = NvmeCommand(opcode=OP_FLUSH, cid=9)
+    out = roundtrip(cmd)
+    assert out.opcode == OP_FLUSH
+    assert out.nblocks == 0
+
+
+def test_read_command_roundtrip():
+    cmd = NvmeCommand(opcode=OP_READ, cid=3, slba=7, nblocks=2)
+    out = roundtrip(cmd)
+    assert out.opcode == OP_READ
+    assert out.nblocks == 2
+
+
+def test_invalid_opcode_rejected():
+    with pytest.raises(ValueError):
+        NvmeCommand(opcode=0x99, cid=0, nblocks=1)
+
+
+def test_write_requires_blocks():
+    with pytest.raises(ValueError):
+        NvmeCommand(opcode=OP_WRITE, cid=0, nblocks=0)
+
+
+def test_rio_field_range_validation():
+    with pytest.raises(ValueError):
+        RioFields(rio_op=0x10)
+    with pytest.raises(ValueError):
+        RioFields(flags=0x10)
+    with pytest.raises(ValueError):
+        RioFields(start_seq=1 << 32)
+    with pytest.raises(ValueError):
+        RioFields(num=1 << 16)
+    with pytest.raises(ValueError):
+        RioFields(stream_id=1 << 16)
+
+
+def test_unpack_rejects_wrong_size():
+    with pytest.raises(ValueError):
+        NvmeCommand.unpack(b"\x00" * 63)
+
+
+def test_response_roundtrip():
+    resp = NvmeResponse(cid=0x1234, status=0x2, sq_head=55, result=0xDEAD)
+    out = NvmeResponse.unpack(resp.pack())
+    assert out.cid == 0x1234
+    assert out.status == 0x2
+    assert out.sq_head == 55
+    assert out.result == 0xDEAD
+
+
+def test_response_is_16_bytes():
+    assert len(NvmeResponse(cid=1).pack()) == 16
+
+
+def test_response_unpack_rejects_wrong_size():
+    with pytest.raises(ValueError):
+        NvmeResponse.unpack(b"\x00" * 8)

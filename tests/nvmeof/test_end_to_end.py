@@ -1,0 +1,244 @@
+"""End-to-end tests of the NVMe-oF data path through a full cluster."""
+
+import pytest
+
+from repro.block.mq import BlockLayer, Plug
+from repro.block.request import Bio, BlockRequest, WriteFlags
+from repro.cluster import Cluster
+from repro.hw.ssd import FLASH_PM981, OPTANE_905P
+from repro.sim import Environment
+
+
+def make_cluster(profiles=((OPTANE_905P,),), **kwargs):
+    env = Environment()
+    cluster = Cluster(env, target_ssds=profiles, **kwargs)
+    return env, cluster
+
+
+def test_single_write_lands_on_remote_ssd():
+    env, cluster = make_cluster()
+    layer = BlockLayer(env, cluster.driver, cluster.volume())
+    core = cluster.initiator.cpus.pick(0)
+    bio = Bio(op="write", lba=4, nblocks=1, payload=["data-x"])
+
+    def proc(env):
+        done = yield from layer.submit_bio(core, bio)
+        yield done
+
+    env.run_until_event(env.process(proc(env)))
+    ssd = cluster.targets[0].ssds[0]
+    assert ssd.durable_payload(4) == "data-x"  # Optane: durable at completion
+
+
+def test_write_latency_is_tens_of_microseconds():
+    env, cluster = make_cluster()
+    layer = BlockLayer(env, cluster.driver, cluster.volume())
+    core = cluster.initiator.cpus.pick(0)
+    bio = Bio(op="write", lba=0, nblocks=1)
+
+    def proc(env):
+        done = yield from layer.submit_bio(core, bio)
+        yield done
+
+    env.run_until_event(env.process(proc(env)))
+    assert 10e-6 < env.now < 50e-6
+
+
+def test_read_returns_written_payload():
+    env, cluster = make_cluster()
+    layer = BlockLayer(env, cluster.driver, cluster.volume())
+    core = cluster.initiator.cpus.pick(0)
+    results = []
+
+    def proc(env):
+        write = Bio(op="write", lba=9, nblocks=2, payload=["a", "b"])
+        done = yield from layer.submit_bio(core, write)
+        yield done
+        read = Bio(op="read", lba=9, nblocks=2)
+        done = yield from layer.submit_bio(core, read)
+        yield done
+        results.append(read)
+
+    env.run_until_event(env.process(proc(env)))
+    # Fan-in from the request updates the SSD-visible payload.
+    ssd = cluster.targets[0].ssds[0]
+    assert ssd.durable_payload(9) == "a"
+    assert ssd.durable_payload(10) == "b"
+
+
+def test_flush_bio_fans_out_to_all_devices():
+    env, cluster = make_cluster(profiles=((FLASH_PM981, FLASH_PM981),))
+    layer = BlockLayer(env, cluster.driver, cluster.volume())
+    core = cluster.initiator.cpus.pick(0)
+
+    def proc(env):
+        for lba in (0, 1):  # one block on each member of the striped volume
+            done = yield from layer.submit_bio(
+                core, Bio(op="write", lba=lba, nblocks=1, payload=[f"v{lba}"])
+            )
+            yield done
+        done = yield from layer.submit_bio(core, Bio(op="flush"))
+        yield done
+
+    env.run_until_event(env.process(proc(env)))
+    ssd0, ssd1 = cluster.targets[0].ssds
+    assert ssd0.is_durable(0)
+    assert ssd1.is_durable(0)
+    assert ssd0.flushes_served >= 1
+    assert ssd1.flushes_served >= 1
+
+
+def test_striped_volume_distributes_round_robin():
+    env, cluster = make_cluster(profiles=((OPTANE_905P, OPTANE_905P),))
+    layer = BlockLayer(env, cluster.driver, cluster.volume())
+    core = cluster.initiator.cpus.pick(0)
+
+    def proc(env):
+        bio = Bio(op="write", lba=0, nblocks=4, payload=["b0", "b1", "b2", "b3"])
+        done = yield from layer.submit_bio(core, bio)
+        yield done
+
+    env.run_until_event(env.process(proc(env)))
+    ssd0, ssd1 = cluster.targets[0].ssds
+    # Round-robin 4 KB striping: blocks 0,2 -> ssd0 (local 0,1); 1,3 -> ssd1.
+    assert ssd0.durable_payload(0) == "b0"
+    assert ssd1.durable_payload(0) == "b1"
+    assert ssd0.durable_payload(1) == "b2"
+    assert ssd1.durable_payload(1) == "b3"
+
+
+def test_multi_target_cluster_routes_by_namespace():
+    env, cluster = make_cluster(profiles=((OPTANE_905P,), (OPTANE_905P,)))
+    assert len(cluster.targets) == 2
+    layer = BlockLayer(env, cluster.driver, cluster.volume())
+    core = cluster.initiator.cpus.pick(0)
+
+    def proc(env):
+        bio = Bio(op="write", lba=0, nblocks=2, payload=["t0", "t1"])
+        done = yield from layer.submit_bio(core, bio)
+        yield done
+
+    env.run_until_event(env.process(proc(env)))
+    assert cluster.targets[0].ssds[0].durable_payload(0) == "t0"
+    assert cluster.targets[1].ssds[0].durable_payload(0) == "t1"
+
+
+def test_plug_merges_consecutive_writes_into_one_command():
+    env, cluster = make_cluster()
+    layer = BlockLayer(env, cluster.driver, cluster.volume())
+    core = cluster.initiator.cpus.pick(0)
+    bios = [Bio(op="write", lba=i, nblocks=1, payload=[i]) for i in range(4)]
+
+    def proc(env):
+        plug = Plug()
+        events = []
+        for bio in bios:
+            done = yield from layer.submit_bio(core, bio, plug=plug)
+            events.append(done)
+        yield from layer.finish_plug(core, plug)
+        yield env.all_of(events)
+
+    env.run_until_event(env.process(proc(env)))
+    assert cluster.driver.commands_sent == 1  # merged into a single command
+    assert layer.bios_merged == 3
+    ssd = cluster.targets[0].ssds[0]
+    assert [ssd.durable_payload(i) for i in range(4)] == [0, 1, 2, 3]
+
+
+def test_merging_respects_flush_barrier():
+    env, cluster = make_cluster()
+    layer = BlockLayer(env, cluster.driver, cluster.volume())
+    core = cluster.initiator.cpus.pick(0)
+    first = Bio(op="write", lba=0, nblocks=1, flags=WriteFlags(flush=True))
+    second = Bio(op="write", lba=1, nblocks=1)
+
+    def proc(env):
+        plug = Plug()
+        e1 = yield from layer.submit_bio(core, first, plug=plug)
+        e2 = yield from layer.submit_bio(core, second, plug=plug)
+        yield from layer.finish_plug(core, plug)
+        yield env.all_of([e1, e2])
+
+    env.run_until_event(env.process(proc(env)))
+    assert cluster.driver.commands_sent == 2  # flush barrier blocks the merge
+
+
+def test_merging_disabled_sends_one_command_per_bio():
+    env, cluster = make_cluster()
+    layer = BlockLayer(env, cluster.driver, cluster.volume(), merging_enabled=False)
+    core = cluster.initiator.cpus.pick(0)
+
+    def proc(env):
+        plug = Plug()
+        events = []
+        for i in range(4):
+            done = yield from layer.submit_bio(
+                core, Bio(op="write", lba=i, nblocks=1), plug=plug
+            )
+            events.append(done)
+        yield from layer.finish_plug(core, plug)
+        yield env.all_of(events)
+
+    env.run_until_event(env.process(proc(env)))
+    assert cluster.driver.commands_sent == 4
+
+
+def test_oversized_bio_is_split_to_max_transfer():
+    env, cluster = make_cluster()
+    layer = BlockLayer(env, cluster.driver, cluster.volume())
+    core = cluster.initiator.cpus.pick(0)
+    # 905P max transfer is 128 KB = 32 blocks; write 80 blocks -> 3 commands.
+    bio = Bio(op="write", lba=0, nblocks=80)
+
+    def proc(env):
+        done = yield from layer.submit_bio(core, bio)
+        yield done
+
+    env.run_until_event(env.process(proc(env)))
+    assert cluster.driver.commands_sent == 3
+
+
+def test_cpu_busy_time_accrues_on_both_sides():
+    env, cluster = make_cluster()
+    layer = BlockLayer(env, cluster.driver, cluster.volume())
+    core = cluster.initiator.cpus.pick(0)
+
+    def proc(env):
+        for i in range(10):
+            done = yield from layer.submit_bio(core, Bio(op="write", lba=i, nblocks=1))
+            yield done
+
+    cluster.start_cpu_window()
+    env.run_until_event(env.process(proc(env)))
+    cluster.stop_cpu_window()
+    assert cluster.initiator.cpus.busy_time() > 0
+    assert cluster.targets[0].cpus.busy_time() > 0
+
+
+def test_fua_write_durable_on_flash_at_completion():
+    env, cluster = make_cluster(profiles=((FLASH_PM981,),))
+    layer = BlockLayer(env, cluster.driver, cluster.volume())
+    core = cluster.initiator.cpus.pick(0)
+    bio = Bio(op="write", lba=3, nblocks=1, payload=["f"], flags=WriteFlags(fua=True))
+
+    def proc(env):
+        done = yield from layer.submit_bio(core, bio)
+        yield done
+
+    env.run_until_event(env.process(proc(env)))
+    assert cluster.targets[0].ssds[0].is_durable(3)
+
+
+def test_write_with_flush_flag_is_durable_on_flash():
+    env, cluster = make_cluster(profiles=((FLASH_PM981,),))
+    layer = BlockLayer(env, cluster.driver, cluster.volume())
+    core = cluster.initiator.cpus.pick(0)
+    bio = Bio(op="write", lba=5, nblocks=1, payload=["c"],
+              flags=WriteFlags(flush=True))
+
+    def proc(env):
+        done = yield from layer.submit_bio(core, bio)
+        yield done
+
+    env.run_until_event(env.process(proc(env)))
+    assert cluster.targets[0].ssds[0].is_durable(5)

@@ -1,0 +1,121 @@
+"""Property-based tests of the hardware models' durability contracts."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.ssd import FLASH_PM981, OPTANE_905P, DiskIO, NvmeSsd
+from repro.sim import Environment
+
+
+# ----------------------------------------------------------------------
+# Flash FLUSH contract: a completed FLUSH covers everything completed
+# before it was submitted, under any interleaving of writes/overwrites.
+# ----------------------------------------------------------------------
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), st.integers(0, 15)),  # lba
+        st.tuples(st.just("flush"), st.just(0)),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@given(ops_strategy)
+@settings(max_examples=120, deadline=None)
+def test_flush_covers_all_prior_completed_writes(ops):
+    env = Environment()
+    ssd = NvmeSsd(env, FLASH_PM981, name="prop")
+    version = {}
+    failures = []
+
+    def driver(env):
+        counter = 0
+        for op, lba in ops:
+            if op == "write":
+                counter += 1
+                payload = (lba, counter)
+                yield ssd.submit(DiskIO(op="write", lba=lba, nblocks=1,
+                                        payload=[payload]))
+                version[lba] = payload
+            else:
+                snapshot = dict(version)  # completed before this flush
+                yield ssd.submit(DiskIO(op="flush"))
+                for check_lba, payload in snapshot.items():
+                    durable = ssd.durable_payload(check_lba)
+                    # The durable copy must be the snapshot version or a
+                    # *newer* one (an overwrite racing the flush).
+                    if durable is None or durable[1] < payload[1]:
+                        failures.append((check_lba, payload, durable))
+
+    env.run_until_event(env.process(driver(env)))
+    assert failures == []
+
+
+@given(st.lists(st.integers(0, 31), min_size=1, max_size=40))
+@settings(max_examples=80, deadline=None)
+def test_plp_writes_always_durable_at_completion(lbas):
+    env = Environment()
+    ssd = NvmeSsd(env, OPTANE_905P, name="prop")
+    failures = []
+
+    def driver(env):
+        for i, lba in enumerate(lbas):
+            yield ssd.submit(DiskIO(op="write", lba=lba, nblocks=1,
+                                    payload=[(lba, i)]))
+            if ssd.durable_payload(lba) != (lba, i):
+                failures.append((lba, i))
+
+    env.run_until_event(env.process(driver(env)))
+    assert failures == []
+
+
+@given(st.lists(st.integers(0, 31), min_size=1, max_size=40),
+       st.floats(min_value=10e-6, max_value=2e-3))
+@settings(max_examples=80, deadline=None)
+def test_crash_never_invents_data(lbas, crash_at):
+    """After a crash, every durable block holds a value that was actually
+    written (no corruption / no phantom data)."""
+    env = Environment()
+    ssd = NvmeSsd(env, FLASH_PM981, name="prop")
+    written = {}
+
+    def driver(env):
+        for i, lba in enumerate(lbas):
+            ssd.submit(DiskIO(op="write", lba=lba, nblocks=1,
+                              payload=[(lba, i)]))
+            written.setdefault(lba, []).append((lba, i))
+            yield env.timeout(2e-6)
+
+    env.process(driver(env))
+    env.run(until=crash_at)
+    ssd.crash()
+    for lba in set(lbas):
+        durable = ssd.durable_payload(lba)
+        if durable is not None:
+            assert durable in written.get(lba, []), (lba, durable)
+
+
+@given(st.lists(st.tuples(st.integers(0, 7), st.integers(1, 4)),
+                min_size=1, max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_reads_reflect_latest_write(extents):
+    """Read-after-write returns the newest payload per block (cache or
+    media), for arbitrary overlapping multi-block writes."""
+    env = Environment()
+    ssd = NvmeSsd(env, FLASH_PM981, name="prop")
+    expected = {}
+
+    def driver(env):
+        for i, (lba, nblocks) in enumerate(extents):
+            payload = [(lba + off, i) for off in range(nblocks)]
+            yield ssd.submit(DiskIO(op="write", lba=lba, nblocks=nblocks,
+                                    payload=payload))
+            for off in range(nblocks):
+                expected[lba + off] = (lba + off, i)
+        for lba, value in expected.items():
+            read = DiskIO(op="read", lba=lba, nblocks=1)
+            yield ssd.submit(read)
+            assert read.payload == [value]
+
+    env.run_until_event(env.process(driver(env)))

@@ -1,0 +1,203 @@
+"""Property-based tests of the recovery rebuild logic (§4.4, §4.8).
+
+Strategy: synthesize an arbitrary cluster execution — streams of ordered
+groups whose requests (possibly split into fragments) land on arbitrary
+servers — then an arbitrary crash (any subset of requests durable, with
+per-server persist-prefix semantics applied by the validator), and check
+that :func:`merge_global_order` always produces a sound, maximal prefix
+and a roll-back set that restores prefix semantics.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.attributes import OrderingAttribute
+from repro.core.recovery import merge_global_order, rebuild_server_list
+
+SERVERS = ["t0", "t1", "t2"]
+
+
+@dataclass
+class _SyntheticRun:
+    """One synthetic execution: records per server + ground-truth durability."""
+
+    records: List[OrderingAttribute]
+    durable_requests: set  # (seq, group_index) fully durable
+    num_of: Dict[int, int]  # seq -> group size
+    arrived_boundary: set  # seqs whose boundary request reached a server
+
+
+@st.composite
+def synthetic_runs(draw):
+    num_groups = draw(st.integers(min_value=1, max_value=8))
+    records: List[OrderingAttribute] = []
+    durable: set = set()
+    num_of: Dict[int, int] = {}
+    arrived_boundary: set = set()
+    positions = {name: 0 for name in SERVERS}
+    log_pos = 0
+
+    # Ground truth: which requests' data is durable.
+    for seq in range(1, num_groups + 1):
+        group_size = draw(st.integers(min_value=1, max_value=3))
+        num_of[seq] = group_size
+        for gi in range(group_size):
+            boundary = gi == group_size - 1
+            # A request may not have arrived anywhere (lost in the crash).
+            arrived = draw(st.booleans()) or seq == 1
+            if not arrived:
+                continue
+            if boundary:
+                arrived_boundary.add(seq)
+            split = draw(st.booleans())
+            fragments = draw(st.integers(min_value=2, max_value=3)) if split else 1
+            frag_durable = []
+            for index in range(fragments):
+                server = draw(st.sampled_from(SERVERS))
+                is_durable = draw(st.booleans())
+                frag_durable.append(is_durable)
+                pos = positions[server]
+                positions[server] += 1
+                records.append(
+                    OrderingAttribute(
+                        stream_id=0,
+                        start_seq=seq,
+                        end_seq=seq,
+                        prev=0,
+                        num=group_size if boundary else 0,
+                        persist=1 if is_durable else 0,
+                        lba=seq * 100 + gi * 10 + index,
+                        nblocks=1,
+                        boundary=boundary,
+                        split=split,
+                        split_index=index,
+                        split_total=fragments if split else 0,
+                        server_pos=pos,
+                        group_index=gi,
+                        target_name=server,
+                        nsid=0,
+                        log_pos=log_pos,
+                    )
+                )
+                log_pos += 1
+            if all(frag_durable):
+                durable.add((seq, gi))
+    return _SyntheticRun(records, durable, num_of, arrived_boundary)
+
+
+def _rebuild(run: _SyntheticRun):
+    servers = [
+        rebuild_server_list(name, 0, run.records, plp=True)
+        for name in SERVERS
+    ]
+    return servers, merge_global_order(servers, stream_id=0)
+
+
+def _validated_durable(servers) -> set:
+    """Requests durable *after* per-server prefix validation (the set the
+    recovery algorithm is allowed to trust)."""
+    frag_seen: Dict[Tuple[int, int], set] = {}
+    frag_total: Dict[Tuple[int, int], int] = {}
+    complete = set()
+    for server in servers:
+        for record in server.valid:
+            rid = (record.start_seq, record.group_index)
+            if record.split:
+                frag_seen.setdefault(rid, set()).add(record.split_index)
+                frag_total[rid] = record.split_total
+            else:
+                complete.add(rid)
+    for rid, seen in frag_seen.items():
+        if len(seen) == frag_total.get(rid, -1):
+            complete.add(rid)
+    return complete
+
+
+@given(synthetic_runs())
+@settings(max_examples=300, deadline=None)
+def test_prefix_groups_are_durably_complete(run):
+    """Soundness: every group inside the computed prefix has all its
+    members validated-durable and a known boundary."""
+    servers, order = _rebuild(run)
+    validated = _validated_durable(servers)
+    for seq in range(order.base_seq, order.prefix_seq + 1):
+        assert seq in run.arrived_boundary
+        for gi in range(run.num_of[seq]):
+            assert (seq, gi) in validated, (seq, gi)
+
+
+@given(synthetic_runs())
+@settings(max_examples=300, deadline=None)
+def test_prefix_is_maximal(run):
+    """The group right after the prefix is genuinely not complete."""
+    servers, order = _rebuild(run)
+    if not order.complete_seqs and order.base_seq == 0:
+        return  # nothing known at all
+    nxt = order.prefix_seq + 1
+    if nxt in order.complete_seqs:
+        # Only allowed if it is disconnected from the prefix (a gap of a
+        # never-arrived group sits in between).
+        assert any(
+            seq not in order.complete_seqs
+            for seq in range(max(order.base_seq, 1), nxt)
+        )
+
+
+@given(synthetic_runs())
+@settings(max_examples=300, deadline=None)
+def test_rollback_restores_prefix_semantics(run):
+    """After erasing the discard extents, no validated-durable data beyond
+    the prefix remains: the post-recovery state is a valid prefix state."""
+    servers, order = _rebuild(run)
+    discarded = {(t, n, lba) for t, n, lba, _c in order.discard_extents}
+    ipu = {(t, n, lba) for t, n, lba, _c in order.ipu_extents}
+    for server in servers:
+        for record in server.records:
+            covered = record.covered_ids or None
+            ids = (
+                [(c.seq, c.group_index, c.lba, c.nblocks) for c in covered]
+                if covered
+                else [(record.start_seq, record.group_index, record.lba,
+                       record.nblocks)]
+            )
+            for seq, _gi, lba, _nb in ids:
+                if seq <= order.prefix_seq:
+                    continue
+                key = (record.target_name, record.nsid,
+                       lba if not record.split else record.lba)
+                assert key in discarded or key in ipu, (seq, key)
+
+
+@given(synthetic_runs())
+@settings(max_examples=300, deadline=None)
+def test_prefix_data_never_discarded(run):
+    """Durability promise: nothing inside the prefix is rolled back."""
+    servers, order = _rebuild(run)
+    prefix_extents = set()
+    for server in servers:
+        for record in server.records:
+            ids = (
+                [(c.seq, c.lba) for c in record.covered_ids]
+                if record.covered_ids
+                else [(record.start_seq, record.lba)]
+            )
+            for seq, lba in ids:
+                if seq <= order.prefix_seq:
+                    prefix_extents.add(
+                        (record.target_name, record.nsid,
+                         lba if not record.split else record.lba)
+                    )
+    discarded = {(t, n, lba) for t, n, lba, _c in order.discard_extents}
+    assert not (prefix_extents & discarded)
+
+
+@given(synthetic_runs())
+@settings(max_examples=200, deadline=None)
+def test_rebuild_is_deterministic(run):
+    _servers1, order1 = _rebuild(run)
+    _servers2, order2 = _rebuild(run)
+    assert order1.prefix_seq == order2.prefix_seq
+    assert order1.complete_seqs == order2.complete_seqs
+    assert order1.discard_extents == order2.discard_extents

@@ -1,0 +1,135 @@
+"""Property-based tests of the Rio I/O scheduler's merging (§4.5 P3)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.block.mq import BlockLayer
+from repro.block.request import BlockRequest
+from repro.cluster import Cluster
+from repro.core.attributes import OrderingAttribute
+from repro.core.scheduler import RioIoScheduler
+from repro.hw.ssd import OPTANE_905P
+from repro.sim import Environment
+
+
+def make_scheduler():
+    env = Environment()
+    cluster = Cluster(env, target_ssds=((OPTANE_905P,),))
+    layer = BlockLayer(env, cluster.driver, cluster.volume())
+    scheduler = RioIoScheduler(env, layer, cluster.initiator.cpus,
+                               num_streams=1)
+    return cluster, scheduler
+
+
+@st.composite
+def request_batches(draw):
+    """A FIFO batch of ordered requests the way the ORDER queue sees them:
+    seqs nondecreasing, group indexes dense per seq, arbitrary LBAs."""
+    batch = []
+    seq = 1
+    gi = 0
+    lba = 0
+    for _ in range(draw(st.integers(1, 12))):
+        # Either continue the current group or start the next.
+        if draw(st.booleans()) or gi == 0:
+            pass  # same group (first request always opens group 1)
+        else:
+            seq += 1
+            gi = 0
+        boundary = draw(st.booleans())
+        nblocks = draw(st.integers(1, 4))
+        # LBAs: sometimes consecutive (mergeable), sometimes a jump.
+        if draw(st.booleans()):
+            pass  # consecutive: lba stays at running end
+        else:
+            lba += draw(st.integers(2, 50))
+        batch.append((seq, gi, lba, nblocks, boundary, draw(st.booleans())))
+        lba += nblocks
+        if boundary:
+            seq += 1
+            gi = 0
+        else:
+            gi += 1
+    return batch
+
+
+def build_requests(cluster, batch):
+    ns = cluster.namespaces[0]
+    out = []
+    for seq, gi, lba, nblocks, boundary, flush in batch:
+        attr = OrderingAttribute(
+            stream_id=0, start_seq=seq, end_seq=seq, lba=lba,
+            nblocks=nblocks, boundary=boundary, group_index=gi, flush=flush,
+        )
+        out.append((ns, BlockRequest(op="write", lba=lba, nblocks=nblocks,
+                                     attr=attr, flush=flush)))
+    return out
+
+
+@given(request_batches())
+@settings(max_examples=200, deadline=None)
+def test_merge_preserves_blocks_and_identities(batch):
+    cluster, scheduler = make_scheduler()
+    requests = build_requests(cluster, batch)
+    total_blocks = sum(req.nblocks for _ns, req in requests)
+    identities = [(req.attr.start_seq, req.attr.group_index)
+                  for _ns, req in requests]
+
+    merged = scheduler._merge_batch(list(requests))
+
+    # No blocks lost or invented.
+    assert sum(req.nblocks for _ns, req in merged) == total_blocks
+    # Every original request identity is covered exactly once.
+    covered = []
+    for _ns, req in merged:
+        if req.attr.covered_ids:
+            covered.extend((c.seq, c.group_index) for c in req.attr.covered_ids)
+        else:
+            covered.append((req.attr.start_seq, req.attr.group_index))
+    assert sorted(covered) == sorted(identities)
+
+
+@given(request_batches())
+@settings(max_examples=200, deadline=None)
+def test_merged_requests_obey_the_three_requirements(batch):
+    cluster, scheduler = make_scheduler()
+    requests = build_requests(cluster, batch)
+    merged = scheduler._merge_batch(list(requests))
+    for _ns, req in merged:
+        attr = req.attr
+        if not attr.merged:
+            continue
+        ids = attr.covered_ids
+        # Requirement 2: sequence numbers continuous (nondecreasing with
+        # no gap larger than one).
+        seqs = [c.seq for c in ids]
+        assert all(b - a in (0, 1) for a, b in zip(seqs, seqs[1:]))
+        # Requirement 3: LBAs consecutive and non-overlapping.
+        end = None
+        for c in ids:
+            if end is not None:
+                assert c.lba == end
+            end = c.lba + c.nblocks
+        assert req.nblocks == sum(c.nblocks for c in ids)
+        # Never merged past a flush barrier: only the final covered
+        # request may carry the flush.
+        assert not attr.split
+
+
+@given(request_batches())
+@settings(max_examples=100, deadline=None)
+def test_merge_is_order_preserving(batch):
+    """Merged output preserves FIFO order of the covered requests."""
+    cluster, scheduler = make_scheduler()
+    requests = build_requests(cluster, batch)
+    original = [(req.attr.start_seq, req.attr.group_index)
+                for _ns, req in requests]
+    merged = scheduler._merge_batch(list(requests))
+    flattened = []
+    for _ns, req in merged:
+        if req.attr.covered_ids:
+            flattened.extend(
+                (c.seq, c.group_index) for c in req.attr.covered_ids
+            )
+        else:
+            flattened.append((req.attr.start_seq, req.attr.group_index))
+    assert flattened == original

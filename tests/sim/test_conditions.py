@@ -1,0 +1,110 @@
+"""Edge-case tests for event conditions and failure propagation."""
+
+import pytest
+
+from repro.sim import Environment, Resource
+
+
+def test_all_of_propagates_failure():
+    env = Environment()
+    gate = env.event()
+    caught = []
+
+    def waiter(env):
+        try:
+            yield env.all_of([env.timeout(10.0), gate])
+        except ValueError as exc:
+            caught.append((env.now, str(exc)))
+
+    def failer(env):
+        yield env.timeout(1.0)
+        gate.fail(ValueError("broken"))
+
+    env.process(waiter(env))
+    env.process(failer(env))
+    env.run()
+    assert caught == [(1.0, "broken")]
+
+
+def test_any_of_with_already_processed_event():
+    env = Environment()
+    done_first = env.timeout(0.5)
+    seen = []
+
+    def waiter(env):
+        yield env.timeout(2.0)  # done_first has long fired
+        yield env.any_of([done_first, env.timeout(100.0)])
+        seen.append(env.now)
+
+    env.process(waiter(env))
+    env.run(until=5.0)
+    assert seen == [2.0]
+
+
+def test_all_of_mixed_processed_and_pending():
+    env = Environment()
+    early = env.timeout(0.5)
+    seen = []
+
+    def waiter(env):
+        yield env.timeout(1.0)
+        late = env.timeout(2.0)
+        yield env.all_of([early, late])
+        seen.append(env.now)
+
+    env.process(waiter(env))
+    env.run()
+    assert seen == [3.0]
+
+
+def test_nested_conditions():
+    env = Environment()
+    seen = []
+
+    def waiter(env):
+        inner = env.all_of([env.timeout(1.0), env.timeout(2.0)])
+        yield env.any_of([inner, env.timeout(10.0)])
+        seen.append(env.now)
+
+    env.process(waiter(env))
+    env.run()
+    assert seen == [2.0]
+
+
+def test_resource_acquire_helper():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    order = []
+
+    def worker(env, tag):
+        yield from resource.acquire()
+        order.append((tag, env.now))
+        yield env.timeout(1.0)
+        resource.release()
+
+    env.process(worker(env, "a"))
+    env.process(worker(env, "b"))
+    env.run()
+    assert order == [("a", 0.0), ("b", 1.0)]
+
+
+def test_process_failure_propagates_to_waiter():
+    env = Environment()
+    caught = []
+
+    def doomed(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("process crashed")
+
+    def parent(env):
+        child = env.process(doomed(env))
+        try:
+            yield child
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    env.process(parent(env))
+    with pytest.raises(RuntimeError):
+        # The exception escapes the child generator and surfaces at the
+        # simulation loop (fail-fast for programming errors).
+        env.run()

@@ -1,0 +1,305 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, SimulationError
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        yield env.timeout(1.5)
+        log.append(env.now)
+        yield env.timeout(0.5)
+        log.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert log == [1.5, 2.0]
+
+
+def test_timeout_value_is_delivered():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        value = yield env.timeout(1.0, value="hello")
+        seen.append(value)
+
+    env.process(proc(env))
+    env.run()
+    assert seen == ["hello"]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    order = []
+
+    def make(delay, tag):
+        def proc(env):
+            yield env.timeout(delay)
+            order.append(tag)
+
+        return proc
+
+    env.process(make(3.0, "c")(env))
+    env.process(make(1.0, "a")(env))
+    env.process(make(2.0, "b")(env))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_fifo():
+    env = Environment()
+    order = []
+
+    def proc(env, tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag in range(5):
+        env.process(proc(env, tag))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_manual_event_succeed_wakes_waiter():
+    env = Environment()
+    gate = env.event()
+    seen = []
+
+    def waiter(env):
+        value = yield gate
+        seen.append((env.now, value))
+
+    def opener(env):
+        yield env.timeout(2.0)
+        gate.succeed("open")
+
+    env.process(waiter(env))
+    env.process(opener(env))
+    env.run()
+    assert seen == [(2.0, "open")]
+
+
+def test_event_failure_raises_in_waiter():
+    env = Environment()
+    gate = env.event()
+    caught = []
+
+    def waiter(env):
+        try:
+            yield gate
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def failer(env):
+        yield env.timeout(1.0)
+        gate.fail(RuntimeError("boom"))
+
+    env.process(waiter(env))
+    env.process(failer(env))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_double_trigger_rejected():
+    env = Environment()
+    event = env.event()
+    event.succeed()
+    with pytest.raises(SimulationError):
+        event.succeed()
+
+
+def test_process_is_waitable_and_returns_value():
+    env = Environment()
+    results = []
+
+    def child(env):
+        yield env.timeout(1.0)
+        return 42
+
+    def parent(env):
+        value = yield env.process(child(env))
+        results.append((env.now, value))
+
+    env.process(parent(env))
+    env.run()
+    assert results == [(1.0, 42)]
+
+
+def test_wait_on_already_finished_process():
+    env = Environment()
+    results = []
+
+    def child(env):
+        yield env.timeout(0.5)
+        return "done"
+
+    def parent(env, child_proc):
+        yield env.timeout(2.0)
+        value = yield child_proc
+        results.append((env.now, value))
+
+    child_proc = env.process(child(env))
+    env.process(parent(env, child_proc))
+    env.run()
+    assert results == [(2.0, "done")]
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    seen = []
+
+    def parent(env):
+        t1 = env.timeout(1.0, value="a")
+        t2 = env.timeout(3.0, value="b")
+        values = yield env.all_of([t1, t2])
+        seen.append((env.now, sorted(values.values())))
+
+    env.process(parent(env))
+    env.run()
+    assert seen == [(3.0, ["a", "b"])]
+
+
+def test_any_of_fires_on_first_event():
+    env = Environment()
+    seen = []
+
+    def parent(env):
+        t1 = env.timeout(1.0, value="fast")
+        t2 = env.timeout(3.0, value="slow")
+        yield env.any_of([t1, t2])
+        seen.append(env.now)
+
+    env.process(parent(env))
+    env.run()
+    assert seen == [1.0]
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+    seen = []
+
+    def parent(env):
+        yield env.all_of([])
+        seen.append(env.now)
+
+    env.process(parent(env))
+    env.run()
+    assert seen == [0.0]
+
+
+def test_run_until_advances_clock_exactly():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+
+    env.process(proc(env))
+    env.run(until=5.0)
+    assert env.now == 5.0
+
+
+def test_run_until_does_not_execute_later_events():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        yield env.timeout(10.0)
+        log.append("late")
+
+    env.process(proc(env))
+    env.run(until=5.0)
+    assert log == []
+    env.run(until=15.0)
+    assert log == ["late"]
+
+
+def test_run_until_past_raises():
+    env = Environment()
+    env.run(until=5.0)
+    with pytest.raises(ValueError):
+        env.run(until=1.0)
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2.0)
+        return "value"
+
+    proc_event = env.process(proc(env))
+    assert env.run_until_event(proc_event) == "value"
+    assert env.now == 2.0
+
+
+def test_interrupt_wakes_sleeping_process():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+            log.append("overslept")
+        except Interrupt as intr:
+            log.append(("interrupted", env.now, intr.cause))
+
+    def interrupter(env, victim):
+        yield env.timeout(1.0)
+        victim.interrupt(cause="wake up")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert log == [("interrupted", 1.0, "wake up")]
+
+
+def test_interrupt_finished_process_rejected():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(0.1)
+
+    proc = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_chain_of_processes():
+    env = Environment()
+    hops = []
+
+    def hop(env, n):
+        yield env.timeout(1.0)
+        hops.append(n)
+        if n < 5:
+            yield env.process(hop(env, n + 1))
+
+    env.process(hop(env, 1))
+    env.run()
+    assert hops == [1, 2, 3, 4, 5]
+    assert env.now == 5.0
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(7.0)
+
+    env.process(proc(env))
+    # The bootstrap event is at t=0.
+    assert env.peek() == 0.0
+    env.step()
+    assert env.peek() == 7.0

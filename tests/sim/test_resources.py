@@ -1,0 +1,189 @@
+"""Unit tests for Store and Resource primitives."""
+
+import pytest
+
+from repro.sim import Environment, Resource, SimulationError, Store
+
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env):
+        item = yield store.get()
+        got.append(item)
+
+    store.put("x")
+    env.process(consumer(env))
+    env.run()
+    assert got == ["x"]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env):
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer(env):
+        yield env.timeout(3.0)
+        store.put("late")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert got == [(3.0, "late")]
+
+
+def test_store_is_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    for i in range(3):
+        store.put(i)
+    env.process(consumer(env))
+    env.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_waiters_are_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env, tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    env.process(consumer(env, "a"))
+    env.process(consumer(env, "b"))
+
+    def producer(env):
+        yield env.timeout(1.0)
+        store.put(1)
+        store.put(2)
+
+    env.process(producer(env))
+    env.run()
+    assert got == [("a", 1), ("b", 2)]
+
+
+def test_bounded_store_blocks_putter():
+    env = Environment()
+    store = Store(env, capacity=1)
+    log = []
+
+    def producer(env):
+        yield store.put("first")
+        log.append(("put-first", env.now))
+        yield store.put("second")  # blocks until the consumer drains
+        log.append(("put-second", env.now))
+
+    def consumer(env):
+        yield env.timeout(5.0)
+        item = yield store.get()
+        log.append(("got", item, env.now))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert ("put-first", 0.0) in log
+    assert ("got", "first", 5.0) in log
+    put_second = [entry for entry in log if entry[0] == "put-second"][0]
+    assert put_second[1] == 5.0
+
+
+def test_store_try_get():
+    env = Environment()
+    store = Store(env)
+    assert store.try_get() is None
+    store.put(7)
+    assert store.try_get() == 7
+    assert store.try_get() is None
+
+
+def test_store_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_resource_serializes():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    order = []
+
+    def worker(env, tag):
+        yield resource.request()
+        order.append((tag, "in", env.now))
+        yield env.timeout(1.0)
+        resource.release()
+        order.append((tag, "out", env.now))
+
+    env.process(worker(env, "a"))
+    env.process(worker(env, "b"))
+    env.run()
+    assert order == [
+        ("a", "in", 0.0), ("a", "out", 1.0),
+        ("b", "in", 1.0), ("b", "out", 2.0),
+    ]
+
+
+def test_resource_capacity_two_overlaps():
+    env = Environment()
+    resource = Resource(env, capacity=2)
+    starts = []
+
+    def worker(env):
+        yield resource.request()
+        starts.append(env.now)
+        yield env.timeout(1.0)
+        resource.release()
+
+    for _ in range(3):
+        env.process(worker(env))
+    env.run()
+    assert starts == [0.0, 0.0, 1.0]
+
+
+def test_resource_release_without_request():
+    env = Environment()
+    resource = Resource(env)
+    with pytest.raises(SimulationError):
+        resource.release()
+
+
+def test_resource_counters():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+
+    def holder(env):
+        yield resource.request()
+        yield env.timeout(10.0)
+        resource.release()
+
+    def waiter(env):
+        yield resource.request()
+        resource.release()
+
+    env.process(holder(env))
+    env.process(waiter(env))
+    env.run(until=1.0)
+    assert resource.in_use == 1
+    assert resource.queued == 1
+
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)

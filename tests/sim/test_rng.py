@@ -1,0 +1,62 @@
+"""Unit tests for deterministic random number generation."""
+
+from repro.sim import DeterministicRNG
+from repro.sim.rng import hash_str
+
+
+def test_same_seed_same_sequence():
+    a = DeterministicRNG(5)
+    b = DeterministicRNG(5)
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    a = DeterministicRNG(5)
+    b = DeterministicRNG(6)
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_fork_is_deterministic_and_independent():
+    a = DeterministicRNG(5).fork("ssd0")
+    b = DeterministicRNG(5).fork("ssd0")
+    c = DeterministicRNG(5).fork("ssd1")
+    seq_a = [a.random() for _ in range(5)]
+    assert seq_a == [b.random() for _ in range(5)]
+    assert seq_a != [c.random() for _ in range(5)]
+
+
+def test_fork_does_not_perturb_parent():
+    parent = DeterministicRNG(5)
+    before = DeterministicRNG(5)
+    parent.fork("child")
+    assert parent.random() == before.random()
+
+
+def test_jitter_bounds():
+    rng = DeterministicRNG(1)
+    for _ in range(100):
+        value = rng.jitter(10.0, 0.1)
+        assert 9.0 <= value <= 11.0
+    assert rng.jitter(0.0) == 0.0
+
+
+def test_randint_inclusive():
+    rng = DeterministicRNG(2)
+    values = {rng.randint(0, 2) for _ in range(200)}
+    assert values == {0, 1, 2}
+
+
+def test_choice_and_shuffle():
+    rng = DeterministicRNG(3)
+    items = [1, 2, 3, 4, 5]
+    assert rng.choice(items) in items
+    shuffled = list(items)
+    rng.shuffle(shuffled)
+    assert sorted(shuffled) == items
+
+
+def test_hash_str_is_stable():
+    assert hash_str("rio") == hash_str("rio")
+    assert hash_str("rio") != hash_str("riofs")
+    # Known FNV-1a property: deterministic across runs (fixed constant).
+    assert isinstance(hash_str("x"), int)

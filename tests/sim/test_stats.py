@@ -1,0 +1,104 @@
+"""Unit tests for measurement helpers."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.stats import BusyTracker, Counter, LatencyRecorder, ThroughputMeter
+
+
+def test_counter():
+    counter = Counter()
+    counter.add("ops")
+    counter.add("ops", 4)
+    counter.add("bytes", 100)
+    assert counter.get("ops") == 5
+    assert counter.get("missing") == 0
+    assert counter.as_dict() == {"ops": 5, "bytes": 100}
+
+
+def test_latency_recorder_statistics():
+    recorder = LatencyRecorder()
+    for value in (1.0, 2.0, 3.0, 4.0):
+        recorder.record(value)
+    assert recorder.count == 4
+    assert recorder.mean == pytest.approx(2.5)
+    assert recorder.maximum == 4.0
+    assert recorder.percentile(50) == 2.0
+    assert recorder.percentile(100) == 4.0
+    assert recorder.p99 == 4.0
+
+
+def test_latency_recorder_empty():
+    recorder = LatencyRecorder()
+    assert recorder.mean == 0.0
+    assert recorder.p99 == 0.0
+    assert recorder.maximum == 0.0
+
+
+def test_latency_recorder_validation():
+    recorder = LatencyRecorder()
+    with pytest.raises(ValueError):
+        recorder.record(-1.0)
+    with pytest.raises(ValueError):
+        recorder.percentile(101)
+
+
+def test_throughput_meter_window():
+    env = Environment()
+    meter = ThroughputMeter(env)
+    meter.complete(4096)  # before the window: ignored
+    meter.start_window()
+
+    def advance(env):
+        yield env.timeout(2.0)
+
+    env.process(advance(env))
+    env.run()
+    meter.complete(4096)
+    meter.complete(4096)
+    meter.stop_window()
+    meter.complete(4096)  # after the window: ignored
+    assert meter.ops == 2
+    assert meter.ops_per_sec == pytest.approx(1.0)
+    assert meter.bytes_per_sec == pytest.approx(4096.0)
+    assert meter.mb_per_sec == pytest.approx(4096.0 / 1e6)
+
+
+def test_busy_tracker_nested_sections_count_once():
+    env = Environment()
+    tracker = BusyTracker(env)
+    tracker.begin()
+    tracker.begin()  # nested
+
+    def advance(env):
+        yield env.timeout(3.0)
+
+    env.process(advance(env))
+    env.run()
+    tracker.end()
+    tracker.end()
+    assert tracker.busy_time == pytest.approx(3.0)
+
+
+def test_busy_tracker_end_without_begin():
+    env = Environment()
+    tracker = BusyTracker(env)
+    with pytest.raises(RuntimeError):
+        tracker.end()
+
+
+def test_busy_tracker_utilization_window():
+    env = Environment()
+    tracker = BusyTracker(env)
+
+    def work(env):
+        tracker.start_window()
+        tracker.begin()
+        yield env.timeout(1.0)
+        tracker.end()
+        yield env.timeout(1.0)
+        tracker.stop_window()
+
+    env.process(work(env))
+    env.run()
+    assert tracker.utilization() == pytest.approx(0.5)

@@ -1,0 +1,146 @@
+"""Tests for the BarrierFS-style stack and barrier-enabled SSD (§2.2)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.hw.ssd import FLASH_PM981, OPTANE_905P, DiskIO, NvmeSsd
+from repro.sim import Environment
+from repro.systems import make_stack
+
+
+# ----------------------------------------------------------------------
+# Device-level barrier semantics
+# ----------------------------------------------------------------------
+
+
+def test_barrier_writes_persist_in_order_on_flash():
+    env = Environment()
+    ssd = NvmeSsd(env, FLASH_PM981, name="b")
+    for i in range(32):
+        ssd.submit(DiskIO(op="write", lba=i, nblocks=1, payload=[i],
+                          barrier=True))
+    env.run(until=120e-6)  # partial drain
+    ssd.crash()
+    durable = [i for i in range(32) if ssd.is_durable(i)]
+    # Whatever persisted must be a prefix of the submission order.
+    assert durable == list(range(len(durable)))
+
+
+def test_normal_writes_may_persist_out_of_order():
+    """Without barriers the SSD reorders persistence once the cache has
+    depth: the durable set is not a submission-order prefix."""
+    from repro.hw.ssd import SsdProfile
+
+    slow_media = SsdProfile(
+        name="deep-cache-flash",
+        plp=False,
+        write_latency=15e-6,
+        read_latency=80e-6,
+        interface_bandwidth=3.2e9,
+        media_bandwidth=0.8e9,  # drain much slower than admission
+        chips=8,
+        cache_capacity=64 * 1024 * 1024,
+        flush_base_latency=350e-6,
+        max_transfer=512 * 1024,
+    )
+    env = Environment()
+    ssd = NvmeSsd(env, slow_media, name="n")
+    for i in range(256):
+        ssd.submit(DiskIO(op="write", lba=i, nblocks=1, payload=[i]))
+    env.run(until=400e-6)
+    ssd.crash()
+    durable = [i for i in range(256) if ssd.is_durable(i)]
+    assert 0 < len(durable) < 256
+    assert durable != list(range(len(durable)))  # holes: free reordering
+
+
+def test_barrier_serializes_on_plp():
+    """On PLP devices barrier persistence order equals submission order."""
+    env = Environment()
+    ssd = NvmeSsd(env, OPTANE_905P, name="p")
+    versions = {}
+
+    def submit_all(env):
+        events = [
+            ssd.submit(DiskIO(op="write", lba=i, nblocks=1, payload=[i],
+                              barrier=True))
+            for i in range(16)
+        ]
+        yield env.all_of(events)
+
+    env.run_until_event(env.process(submit_all(env)))
+    order = sorted(range(16), key=ssd.durable_version)
+    assert order == list(range(16))
+
+
+# ----------------------------------------------------------------------
+# Stack-level behaviour
+# ----------------------------------------------------------------------
+
+
+def test_barrier_stack_preserves_order_without_flush():
+    env = Environment()
+    cluster = Cluster(env, target_ssds=((FLASH_PM981,),))
+    stack = make_stack("barrier", cluster, num_streams=2)
+    core = cluster.initiator.cpus.pick(0)
+
+    def proc(env):
+        events = []
+        for i in range(16):
+            done = yield from stack.write_ordered(core, 0, lba=i * 2,
+                                                  nblocks=1, payload=[i])
+            events.append(done)
+        yield env.all_of(events)
+
+    env.run_until_event(env.process(proc(env)))
+    assert cluster.targets[0].ssds[0].flushes_served == 0
+    env.run(until=env.now + 5e-3)  # let barrier drain finish
+    for i in range(16):
+        assert cluster.targets[0].ssds[0].is_durable(i * 2)
+
+
+def test_barrier_stack_rejects_multiple_targets():
+    env = Environment()
+    cluster = Cluster(env, target_ssds=((OPTANE_905P,), (OPTANE_905P,)))
+    with pytest.raises(ValueError):
+        make_stack("barrier", cluster, num_streams=1)
+
+
+def test_barrier_stack_scales_poorly():
+    """§2.2: 'requests from different cores contend on the single hardware
+    queue, which limits the multicore scalability' — unlike Rio."""
+
+    def throughput(system, threads):
+        env = Environment()
+        cluster = Cluster(env, target_ssds=((OPTANE_905P,),))
+        stack = make_stack(system, cluster, num_streams=threads)
+        count = [0]
+
+        def writer(env, t):
+            core = cluster.initiator.cpus.pick(t)
+            inflight = []
+            i = 0
+            base = t * 1_000_000
+            while env.now < 3e-3:
+                done = yield from stack.write_ordered(core, t,
+                                                      lba=base + i * 2,
+                                                      nblocks=1)
+                i += 1
+                inflight.append(done)
+                if len(inflight) >= 16:
+                    yield env.any_of(inflight)
+                    count[0] += sum(1 for e in inflight if e.triggered)
+                    inflight = [e for e in inflight if not e.triggered]
+
+        for t in range(threads):
+            env.process(writer(env, t))
+        env.run(until=3e-3)
+        return count[0]
+
+    barrier_1 = throughput("barrier", 1)
+    barrier_8 = throughput("barrier", 8)
+    rio_8 = throughput("rio", 8)
+    # Barrier ordering works but the single queue + serialized barrier
+    # lane cap scaling; Rio's independent streams scale to saturation.
+    assert barrier_8 < 2.0 * barrier_1
+    assert rio_8 > 1.5 * barrier_8

@@ -1,0 +1,168 @@
+"""Finer-grained semantics tests for the Linux and HORAE stacks."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.hw.ssd import FLASH_PM981, OPTANE_905P
+from repro.sim import Environment
+from repro.systems import make_stack
+
+
+def build(name, profiles=((OPTANE_905P,),), num_streams=4):
+    env = Environment()
+    cluster = Cluster(env, target_ssds=profiles)
+    stack = make_stack(name, cluster, num_streams=num_streams)
+    return env, cluster, stack
+
+
+# ----------------------------------------------------------------------
+# Linux ordered stack
+# ----------------------------------------------------------------------
+
+
+def test_linux_flushes_per_group_on_flash_only():
+    def flushes(profiles):
+        env, cluster, stack = build("linux", profiles=profiles)
+        core = cluster.initiator.cpus.pick(0)
+
+        def proc(env):
+            events = []
+            for i in range(5):
+                done = yield from stack.write_ordered(core, 0, lba=i * 2,
+                                                      nblocks=1)
+                events.append(done)
+            yield env.all_of(events)
+
+        env.run_until_event(env.process(proc(env)))
+        return cluster.targets[0].ssds[0].flushes_served
+
+    assert flushes(((FLASH_PM981,),)) == 5  # FLUSH per ordered group
+    assert flushes(((OPTANE_905P,),)) == 0  # PLP: block layer drops it
+
+
+def test_linux_streams_are_independent_chains():
+    """Group n of stream A never waits for stream B."""
+    env, cluster, stack = build("linux")
+    finish = {}
+
+    def writer(stream, count):
+        core = cluster.initiator.cpus.pick(stream)
+        for i in range(count):
+            done = yield from stack.write_ordered(core, stream,
+                                                  lba=stream * 1000 + i * 2,
+                                                  nblocks=1)
+            yield done
+        finish[stream] = env.now
+
+    p0 = env.process(writer(0, 20))  # long chain
+    p1 = env.process(writer(1, 1))  # single write
+    env.run_until_event(env.all_of([p0, p1]))
+    # The single write of stream 1 did not queue behind stream 0's chain.
+    assert finish[1] < finish[0] / 2
+
+
+def test_linux_group_members_complete_together():
+    env, cluster, stack = build("linux")
+    core = cluster.initiator.cpus.pick(0)
+    times = {}
+
+    def proc(env):
+        e1 = yield from stack.write_ordered(core, 0, lba=0, nblocks=1,
+                                            end_of_group=False)
+        e2 = yield from stack.write_ordered(core, 0, lba=10, nblocks=1,
+                                            end_of_group=True)
+        env.process(mark("a", e1))
+        env.process(mark("b", e2))
+        yield env.all_of([e1, e2])
+
+    def mark(tag, event):
+        yield event
+        times[tag] = env.now
+
+    env.run_until_event(env.process(proc(env)))
+    assert times["a"] == times["b"]  # one group, one completion point
+
+
+# ----------------------------------------------------------------------
+# HORAE stack
+# ----------------------------------------------------------------------
+
+
+def test_horae_control_path_serializes_per_stream():
+    """The next group's control write starts only after the previous
+    control ack: with N groups the PMR sees N serialized writes."""
+    env, cluster, stack = build("horae")
+    core = cluster.initiator.cpus.pick(0)
+    n = 10
+
+    def proc(env):
+        events = []
+        for i in range(n):
+            done = yield from stack.write_ordered(core, 0, lba=i * 2,
+                                                  nblocks=1)
+            events.append(done)
+        yield env.all_of(events)
+
+    env.run_until_event(env.process(proc(env)))
+    # Each group's control path costs at least a network round trip; ten
+    # serialized control writes put a floor on the total time.
+    assert env.now > n * 5e-6
+    assert stack.policies[0].control_writes == n
+
+
+def test_horae_control_reaches_every_involved_target():
+    env, cluster, stack = build(
+        "horae", profiles=((OPTANE_905P,), (OPTANE_905P,))
+    )
+    core = cluster.initiator.cpus.pick(0)
+
+    def proc(env):
+        # One group spanning both targets (striped 2-block write).
+        done = yield from stack.write_ordered(core, 0, lba=0, nblocks=2)
+        yield done
+
+    env.run_until_event(env.process(proc(env)))
+    assert stack.policies[0].control_writes == 1
+    assert stack.policies[1].control_writes == 1
+
+
+def test_horae_data_path_is_concurrent_after_control():
+    """Groups overlap in the data path: total time for N groups is far
+    below N sequential data round trips (unlike Linux)."""
+
+    def total_time(name):
+        env, cluster, stack = build(name)
+        core = cluster.initiator.cpus.pick(0)
+
+        def proc(env):
+            events = []
+            for i in range(20):
+                done = yield from stack.write_ordered(core, 0, lba=i * 2,
+                                                      nblocks=1)
+                events.append(done)
+            yield env.all_of(events)
+
+        env.run_until_event(env.process(proc(env)))
+        return env.now
+
+    assert total_time("horae") < 0.6 * total_time("linux")
+
+
+def test_horae_metadata_records_carry_local_extents():
+    env, cluster, stack = build(
+        "horae", profiles=((OPTANE_905P,), (OPTANE_905P,))
+    )
+    core = cluster.initiator.cpus.pick(0)
+
+    def proc(env):
+        done = yield from stack.write_ordered(core, 0, lba=0, nblocks=2)
+        yield done
+
+    env.run_until_event(env.process(proc(env)))
+    for target in cluster.targets:
+        records = [r for r in target.pmr.records().values()
+                   if isinstance(r, dict)]
+        assert len(records) == 1
+        assert records[0]["target"] == target.name
+        # One device-local block on each target (the stripe).
+        assert records[0]["extents"] == [(0, 0, 1)]
