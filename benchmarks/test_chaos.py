@@ -1,0 +1,87 @@
+"""Chaos suite: 30 seeded trials per system under randomized transient
+faults (message loss ≤5%, ≥1 QP breakdown and ≥1 target stall per trial).
+
+Acceptance invariants per trial:
+
+* zero deadlocks (liveness-watched completions + SimDeadlock);
+* zero prefix/order violations — per-stream completion order (Rio, Linux)
+  and per-stream SSD submission order (target audit log) both hold;
+* zero duplicate applies despite retransmissions (target-side
+  ``(stream, position)`` audit);
+* forward progress: every group completes, no pending-table leaks.
+
+Plus a graceful-degradation measurement: throughput dips during a timed
+fault burst and recovers after it.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.chaos import (
+    measure_degradation,
+    run_chaos_suite,
+    run_chaos_trial,
+)
+
+SYSTEMS = ("rio", "horae", "linux")
+
+
+def assert_trial_ok(result):
+    assert not result.deadlocked, (
+        f"{result.system} seed={result.seed}: {result.deadlock_reason}"
+    )
+    assert result.completed_groups == result.total_groups, result.summary()
+    assert result.completion_order_violations == [], result.summary()
+    assert result.duplicate_applies == [], result.summary()
+    assert result.submission_order_violations == [], result.summary()
+    assert result.errors == [], result.summary()
+    assert result.leak_error == "", result.leak_error
+    # Every trial met the chaos floor.
+    assert result.fault_counts.get("qp_breakdown", 0) >= 1, result.summary()
+    assert result.fault_counts.get("target_stall", 0) >= 1, result.summary()
+
+
+def test_chaos_suite_30_trials_all_systems(benchmark):
+    results = run_once(benchmark, run_chaos_suite, systems=SYSTEMS, trials=30)
+    assert len(results) == 30 * len(SYSTEMS)
+    for result in results:
+        assert_trial_ok(result)
+    # The suite actually exercised the fault plane, not a quiet network.
+    total_drops = sum(r.messages_dropped for r in results)
+    total_retries = sum(r.retries for r in results)
+    total_reconnects = sum(r.reconnects for r in results)
+    assert total_drops > 0
+    assert total_retries > 0
+    assert total_reconnects >= 30 * len(SYSTEMS)  # ≥1 breakdown per trial
+    # Rio's duplicate suppression fired somewhere across the suite (lost
+    # responses force retransmits of already-admitted writes).
+    assert sum(r.duplicates_suppressed for r in results if r.system == "rio") > 0
+    # Every fault and recovery action left a trace record.
+    assert all(r.trace_events > 0 for r in results)
+    benchmark.extra_info["trials"] = len(results)
+    benchmark.extra_info["drops"] = total_drops
+    benchmark.extra_info["retries"] = total_retries
+    benchmark.extra_info["reconnects"] = total_reconnects
+
+
+def test_chaos_smoke(benchmark):
+    """CI smoke: 3 fixed-seed trials, one per system."""
+    def smoke():
+        return [
+            run_chaos_trial(system=system, seed=1001) for system in SYSTEMS
+        ]
+
+    results = run_once(benchmark, smoke)
+    for result in results:
+        assert_trial_ok(result)
+
+
+def test_graceful_degradation_and_recovery(benchmark):
+    """Throughput dips during a timed breakdown+stall burst and recovers
+    to at least half the pre-fault rate afterwards."""
+    d = run_once(benchmark, measure_degradation, system="rio", seed=7)
+    assert d["ok"] == 1.0
+    assert d["completed"] == d["total"]
+    assert d["during_rate"] < d["before_rate"], d
+    assert d["after_rate"] > 0.5 * d["before_rate"], d
+    benchmark.extra_info.update(
+        {k: v for k, v in d.items() if k != "ok"}
+    )

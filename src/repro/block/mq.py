@@ -236,6 +236,8 @@ class BlockLayer:
                     for i, offset in enumerate(offsets):
                         bio.payload[offset] = cmd.payload[i]
         for bio in request.bios:
+            if request.status and not bio.status:
+                bio.status = request.status
             remaining = getattr(bio, "_pending_fragments", 1) - 1
             bio._pending_fragments = remaining  # type: ignore[attr-defined]
             if remaining <= 0:

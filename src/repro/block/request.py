@@ -67,6 +67,10 @@ class Bio:
     completed_at: float = 0.0
     #: Completion event, created by the stack that accepts the bio.
     completion: Optional[Event] = None
+    #: Completion status (0 = success).  Non-zero when a covering request
+    #: error-completed — e.g. the driver's retry budget ran out
+    #: (:data:`repro.nvmeof.command.STATUS_TIMEOUT`).
+    status: int = 0
 
     def __post_init__(self):
         if self.op not in ("write", "read", "flush"):
@@ -127,6 +131,10 @@ class BlockRequest:
     #: None = let the block layer pick the submitting core's queue.
     qp_index: Optional[int] = None
     req_id: int = field(default_factory=lambda: next(_req_ids))
+    #: Completion status (0 = success).  Set by the initiator driver on an
+    #: error completion (response status, or host-side timeout after the
+    #: retry budget is exhausted) and fanned out to the covered bios.
+    status: int = 0
     #: Split bookkeeping: parent bio -> remaining fragment count.
     is_split_fragment: bool = False
     #: For split fragments: block offsets within the parent bio covered by

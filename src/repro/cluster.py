@@ -20,7 +20,12 @@ from repro.hw.pmr import PersistentMemoryRegion
 from repro.hw.ssd import NvmeSsd, SsdProfile
 from repro.net.fabric import Fabric
 from repro.nvmeof.costs import DEFAULT_COSTS, CpuCosts
-from repro.nvmeof.initiator import InitiatorDriver, InitiatorServer, RemoteNamespace
+from repro.nvmeof.initiator import (
+    DriverHardening,
+    InitiatorDriver,
+    InitiatorServer,
+    RemoteNamespace,
+)
 from repro.nvmeof.target import TargetServer
 from repro.sim.engine import Environment
 from repro.sim.rng import DeterministicRNG
@@ -45,6 +50,7 @@ class Cluster:
         seed: int = 42,
         transport: str = "rdma",
         pmr_size: Optional[int] = None,
+        hardening: Optional[DriverHardening] = None,
     ):
         if not target_ssds:
             raise ValueError("need at least one target server")
@@ -60,7 +66,9 @@ class Cluster:
             cpus=CpuSet(env, initiator_cores, name="initiator-cpu"),
             nic=Nic(env, name="initiator-nic"),
         )
-        self.driver = InitiatorDriver(env, self.initiator, costs=costs)
+        self.driver = InitiatorDriver(
+            env, self.initiator, costs=costs, hardening=hardening
+        )
         self.fabric = Fabric(env, self.rng.fork("fabric"), transport=transport)
 
         self.targets: List[TargetServer] = []

@@ -142,6 +142,11 @@ class RioDevice:
         Returns the ordered completion event.  ``end_of_group`` delimits
         the group; ``flush`` embeds a FLUSH for durability.  The submission
         order *is* the storage order of the bio's stream.
+
+        The returned event carries ``event.bio``; after it fires,
+        ``event.bio.status`` is nonzero if the write was completed in
+        error (e.g. ``STATUS_TIMEOUT`` after the driver's retry budget
+        was exhausted under fault injection).
         """
         return (
             yield from self.sequencer.submit(core, bio, end_of_group, flush, kick)

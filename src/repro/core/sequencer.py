@@ -150,6 +150,7 @@ class RioSequencer:
             stream.next_seq += 1
 
         app_event = Event(self.env)
+        app_event.bio = bio  # error/status visibility for callers
         group.app_events.append(app_event)
         raw = bio.make_completion(self.env)
         self.env.process(self._watch_completion(stream, group, raw))

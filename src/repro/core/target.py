@@ -144,6 +144,12 @@ class RioTargetPolicy(TargetPolicy):
         self._log_pos_of: Dict[int, int] = {}
         #: Per stream: highest server_pos that has reached the gate.
         self._arrived: Dict[int, int] = {}
+        #: Per stream: highest server_pos *admitted through* the gate (the
+        #: duplicate-suppression high-water mark; claimed synchronously at
+        #: admission, before the attribute append yields).
+        self._admitted: Dict[int, int] = {}
+        #: Retransmissions suppressed (idempotent-retry invariant).
+        self.duplicates_suppressed = 0
         #: Requests that reached the gate before their predecessor arrived
         #: (true out-of-order deliveries — what Principle 2 minimizes).
         self.out_of_order_arrivals = 0
@@ -166,6 +172,21 @@ class RioTargetPolicy(TargetPolicy):
         request = cmd.context
         return getattr(request, "attr", None) if request is not None else None
 
+    def _is_duplicate(self, ctx: TargetContext, attr) -> bool:
+        """True (and flags ``ctx.duplicate``) if this (stream, seq) was
+        already admitted through the gate or has a twin queued at it."""
+        if (
+            attr.server_pos <= self._admitted.get(attr.stream_id, -1)
+            or (attr.stream_id, attr.server_pos) in self._pos_waiters
+        ):
+            ctx.duplicate = True
+            self.duplicates_suppressed += 1
+            ctx.env.trace("rio.gate", "duplicate", stream=attr.stream_id,
+                          pos=attr.server_pos, seq=attr.start_seq,
+                          cause="retransmission of admitted write")
+            return True
+        return False
+
     def before_submit(self, ctx: TargetContext, cmd: NvmeCommand):
         attr = self._attr_of(cmd)
         if attr is None:
@@ -174,6 +195,13 @@ class RioTargetPolicy(TargetPolicy):
         # the gate, the log head can advance (avoids append-space waits
         # feeding back into the gate).
         self.log.acknowledge(attr.stream_id, attr.ack_seq)
+        # Duplicate suppression (idempotent retry): a retransmission of a
+        # (stream, seq) already admitted through the gate — or currently
+        # queued at it — must never reach the SSD a second time, or
+        # in-order submission and the gate's dense-position accounting
+        # would both break.
+        if self._is_duplicate(ctx, attr):
+            return
         # In-order submission gate: wait for all predecessors of this
         # stream on this server to have been submitted to the SSD.
         arrived = self._arrived.get(attr.stream_id, -1)
@@ -189,6 +217,13 @@ class RioTargetPolicy(TargetPolicy):
             stall_started = ctx.env.now
             yield waiter
             self.stall_time += ctx.env.now - stall_started
+            # A twin copy may have been admitted while this one waited
+            # (waiter popped by the predecessor, twin raced past): recheck.
+            if self._is_duplicate(ctx, attr):
+                return
+        # Claim the position before the append yields, so a twin arriving
+        # mid-append is flagged as a duplicate rather than double-applied.
+        self._admitted[attr.stream_id] = attr.server_pos
         # Persist the ordering attribute (persist = 0) before the data.
         log_pos = yield from self.log.append(ctx.core, attr)
         ctx.env.trace("rio.log", "append", stream=attr.stream_id,
@@ -266,6 +301,7 @@ class RioTargetPolicy(TargetPolicy):
             self._next_pos.clear()
             self._pos_waiters.clear()
             self._arrived.clear()
+            self._admitted.clear()
             ctx.endpoint.post_send(
                 Message(kind="rpc_resp", payload=(rpc_id, True), nbytes=16)
             )
@@ -276,3 +312,4 @@ class RioTargetPolicy(TargetPolicy):
         self._pos_waiters.clear()
         self._log_pos_of.clear()
         self._arrived.clear()
+        self._admitted.clear()

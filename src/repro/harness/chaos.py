@@ -1,0 +1,380 @@
+"""Chaos harness: ordered workloads under randomized transient faults.
+
+Each *trial* builds a fresh cluster with driver hardening enabled
+(per-command expiry + retries, RPC timeouts, liveness watching), installs a
+seeded :class:`~repro.sim.faults.FaultPlan` (probabilistic message
+loss/corruption/delay plus at least one queue-pair breakdown and one target
+stall), runs a multi-stream ordered-write workload over one of the
+reproduced stacks, and audits the outcome:
+
+* **forward progress** — every group completes before the virtual-time
+  limit and nothing deadlocks (a drained heap with pending liveness-watched
+  completions raises :class:`~repro.sim.engine.SimDeadlock`);
+* **in-order completion** — per stream, groups complete in submission
+  order (checked for stacks that promise it: Rio and Linux);
+* **no duplicate applies / prefix property** — the target-side audit log
+  must show each ``(stream, position)`` submitted to the SSD exactly once
+  and in strictly increasing position order, even though the initiator
+  retransmits commands under loss (§4.4's idempotence argument);
+* **no leaks** — the driver's pending tables must be empty after the run.
+
+:func:`measure_degradation` runs a timed fault burst only (no
+probabilistic loss) and bins completions into before/during/after windows
+so graceful degradation — a dip during the burst, recovery after — can be
+asserted quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster import Cluster
+from repro.harness.experiment import LAYOUTS
+from repro.nvmeof.initiator import DriverHardening
+from repro.sim.engine import Environment, Event, SimulationError
+from repro.sim.faults import FaultPlan
+from repro.sim.rng import DeterministicRNG
+from repro.sim.trace import Tracer
+from repro.systems.base import make_stack
+
+__all__ = [
+    "CHAOS_HARDENING",
+    "ChaosResult",
+    "build_fault_plan",
+    "run_chaos_trial",
+    "run_chaos_suite",
+    "measure_degradation",
+]
+
+#: Hardening profile used by every chaos trial: generous retry budget so
+#: sub-5% message loss cannot plausibly exhaust it, expiry long enough to
+#: ride out a target stall without spurious aborts dominating.
+CHAOS_HARDENING = DriverHardening(
+    command_timeout=400e-6,
+    rpc_timeout=400e-6,
+    max_retries=10,
+    backoff=1.5,
+    watch_liveness=True,
+)
+
+#: Private LBA area per workload stream (blocks), far apart per stream.
+STREAM_AREA_BLOCKS = 1_000_000
+
+
+@dataclass
+class ChaosResult:
+    """Audited outcome of one chaos trial."""
+
+    system: str
+    seed: int
+    threads: int
+    groups_per_thread: int
+    deadlocked: bool = False
+    deadlock_reason: str = ""
+    completed_groups: int = 0
+    elapsed: float = 0.0
+    #: (stream, group_index, completion_time) in completion order.
+    completion_log: List[Tuple[int, int, float]] = field(default_factory=list)
+    #: Streams whose groups completed out of submission order.
+    completion_order_violations: List[Tuple[int, List[int]]] = field(
+        default_factory=list
+    )
+    #: (stream, server_pos, epoch) keys applied to an SSD more than once.
+    duplicate_applies: List[Tuple[int, int, int]] = field(default_factory=list)
+    #: Per-stream position regressions in the target submission order.
+    submission_order_violations: List[Tuple[int, int, int]] = field(
+        default_factory=list
+    )
+    #: Writes completed in error (bio.status != 0).
+    errors: List[Tuple[int, int, int]] = field(default_factory=list)
+    leak_error: str = ""
+    # -- fault / recovery accounting --
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    messages_dropped: int = 0
+    messages_corrupted: int = 0
+    messages_delayed: int = 0
+    retries: int = 0
+    rpc_retries: int = 0
+    reconnects: int = 0
+    commands_resubmitted: int = 0
+    commands_timed_out: int = 0
+    duplicates_suppressed: int = 0
+    trace_events: int = 0
+
+    @property
+    def total_groups(self) -> int:
+        return self.threads * self.groups_per_thread
+
+    @property
+    def ok(self) -> bool:
+        """True when every robustness invariant held for this trial."""
+        return (
+            not self.deadlocked
+            and self.completed_groups == self.total_groups
+            and not self.completion_order_violations
+            and not self.duplicate_applies
+            and not self.submission_order_violations
+            and not self.errors
+            and not self.leak_error
+        )
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else "FAILED"
+        return (
+            f"{self.system:>8} seed={self.seed:<4} {status}: "
+            f"{self.completed_groups}/{self.total_groups} groups in "
+            f"{self.elapsed * 1e3:.2f}ms  "
+            f"drops={self.messages_dropped} corrupt={self.messages_corrupted} "
+            f"retries={self.retries} reconnects={self.reconnects} "
+            f"dups_suppressed={self.duplicates_suppressed} "
+            f"faults={self.fault_counts}"
+        )
+
+
+def build_fault_plan(
+    seed: int,
+    num_qps: int,
+    num_targets: int,
+    horizon: float = 400e-6,
+    max_loss: float = 0.05,
+) -> FaultPlan:
+    """A randomized plan meeting the chaos-suite floor: probabilistic
+    loss/corruption/delay at or below ``max_loss`` each, plus at least one
+    queue-pair breakdown and one target stall inside ``horizon``.  The
+    default horizon is short enough that the timed faults land while the
+    default trial workload is still in flight on every stack."""
+    rng = DeterministicRNG(seed).fork("chaos-plan")
+    plan = FaultPlan(
+        seed=seed * 7919 + 13,
+        message_loss=rng.uniform(0.005, max_loss),
+        corruption=rng.uniform(0.0, 0.01),
+        delay_probability=rng.uniform(0.0, 0.03),
+        delay_range=(5e-6, 40e-6),
+    )
+    for _ in range(rng.randint(1, 2)):
+        plan.qp_breakdown(
+            at=rng.uniform(0.15 * horizon, 0.75 * horizon),
+            qp_index=rng.randint(0, num_qps - 1),
+        )
+    for _ in range(rng.randint(1, 2)):
+        plan.target_stall(
+            at=rng.uniform(0.15 * horizon, 0.75 * horizon),
+            target_index=rng.randint(0, num_targets - 1),
+            duration=rng.uniform(50e-6, 200e-6),
+        )
+    return plan
+
+
+def _ordered_workload(
+    env: Environment,
+    cluster: Cluster,
+    stack,
+    thread_id: int,
+    groups: int,
+    writes_per_group: int,
+    depth: int,
+    on_group_done,
+):
+    """Generator: issue ``groups`` ordered groups on one stream, keeping at
+    most ``depth`` groups in flight (Rio pipelines; Linux chains anyway)."""
+    core = cluster.initiator.cpus.pick(thread_id)
+    base = thread_id * STREAM_AREA_BLOCKS
+    inflight: List[Event] = []
+    for group in range(groups):
+        last_event: Optional[Event] = None
+        for w in range(writes_per_group):
+            last = w == writes_per_group - 1
+            last_event = yield from stack.write_ordered(
+                core,
+                thread_id,
+                lba=base + (group * writes_per_group + w) * 2,
+                nblocks=1,
+                end_of_group=last,
+                kick=last,
+            )
+        assert last_event is not None
+        last_event.callbacks.append(on_group_done(thread_id, group))
+        inflight.append(last_event)
+        while len(inflight) >= depth:
+            yield inflight.pop(0)
+    for event in inflight:
+        if not event.triggered:
+            yield event
+
+
+def run_chaos_trial(
+    system: str = "rio",
+    seed: int = 0,
+    layout: str = "optane",
+    threads: int = 4,
+    groups_per_thread: int = 12,
+    writes_per_group: int = 2,
+    depth: int = 4,
+    plan: Optional[FaultPlan] = None,
+    limit: float = 50e-3,
+    trace: bool = True,
+) -> ChaosResult:
+    """One seeded trial: build, inject, run, audit."""
+    env = Environment()
+    if trace:
+        env.tracer = Tracer(categories={"fault", "driver", "rio.gate"})
+    cluster = Cluster(
+        env,
+        target_ssds=LAYOUTS[layout],
+        initiator_cores=max(threads, 2),
+        target_cores=8,
+        num_qps=max(threads, 2),
+        seed=seed,
+        hardening=CHAOS_HARDENING,
+    )
+    stack = make_stack(system, cluster, num_streams=threads)
+    if plan is None:
+        plan = build_fault_plan(
+            seed, num_qps=max(threads, 2), num_targets=len(cluster.targets)
+        )
+    plan.install(cluster)
+
+    result = ChaosResult(
+        system=system,
+        seed=seed,
+        threads=threads,
+        groups_per_thread=groups_per_thread,
+    )
+    total = threads * groups_per_thread
+    all_done = Event(env)
+    bios: List = []
+
+    def on_group_done(stream: int, group: int):
+        def callback(event: Event) -> None:
+            result.completion_log.append((stream, group, env.now))
+            bio = getattr(event, "bio", None)
+            if bio is not None:
+                bios.append((stream, group, bio))
+            if len(result.completion_log) == total and not all_done.triggered:
+                all_done.succeed()
+
+        return callback
+
+    for thread_id in range(threads):
+        env.process(
+            _ordered_workload(
+                env,
+                cluster,
+                stack,
+                thread_id,
+                groups_per_thread,
+                writes_per_group,
+                depth,
+                on_group_done,
+            )
+        )
+
+    try:
+        env.run_until_event(all_done, limit=limit)
+    except SimulationError as exc:  # includes SimDeadlock
+        result.deadlocked = True
+        result.deadlock_reason = f"{type(exc).__name__}: {exc}"
+
+    result.completed_groups = len(result.completion_log)
+    result.elapsed = env.now
+
+    # -- audits --------------------------------------------------------
+    if system in ("rio", "linux"):
+        per_stream: Dict[int, List[int]] = {}
+        for stream, group, _t in result.completion_log:
+            per_stream.setdefault(stream, []).append(group)
+        for stream, order in sorted(per_stream.items()):
+            if order != sorted(order):
+                result.completion_order_violations.append((stream, order))
+    for stream, group, bio in bios:
+        if bio.status:
+            result.errors.append((stream, group, bio.status))
+    for target in cluster.targets:
+        result.duplicate_applies.extend(target.duplicate_applies())
+        result.submission_order_violations.extend(
+            target.submission_order_violations()
+        )
+        result.duplicates_suppressed += target.duplicates_suppressed
+    if not result.deadlocked:
+        try:
+            cluster.driver.assert_no_leaks()
+        except AssertionError as exc:
+            result.leak_error = str(exc)
+
+    result.fault_counts = plan.counts()
+    result.messages_dropped = plan.messages_dropped
+    result.messages_corrupted = plan.messages_corrupted
+    result.messages_delayed = plan.messages_delayed
+    driver = cluster.driver
+    result.retries = driver.retries
+    result.rpc_retries = driver.rpc_retries
+    result.reconnects = driver.reconnects
+    result.commands_resubmitted = driver.commands_resubmitted
+    result.commands_timed_out = driver.commands_timed_out
+    if env.tracer is not None:
+        result.trace_events = len(env.tracer.events)
+    return result
+
+
+def run_chaos_suite(
+    systems: Tuple[str, ...] = ("rio", "horae", "linux"),
+    trials: int = 30,
+    base_seed: int = 1000,
+    **trial_kwargs,
+) -> List[ChaosResult]:
+    """``trials`` seeded trials per system; returns every result."""
+    results: List[ChaosResult] = []
+    for system in systems:
+        for i in range(trials):
+            results.append(
+                run_chaos_trial(system=system, seed=base_seed + i, **trial_kwargs)
+            )
+    return results
+
+
+def measure_degradation(
+    system: str = "rio",
+    seed: int = 7,
+    threads: int = 4,
+    groups_per_thread: int = 120,
+    fault_start: float = 500e-6,
+    fault_end: float = 900e-6,
+) -> Dict[str, float]:
+    """Throughput before/during/after a timed fault burst.
+
+    The plan has *no* probabilistic faults — only a queue-pair breakdown
+    and a target stall inside ``[fault_start, fault_end)`` — so the
+    before/after windows are clean and the dip is attributable.
+    Returns completions-per-second rates for the three windows.
+    """
+    plan = FaultPlan(seed=seed)
+    plan.qp_breakdown(at=fault_start, qp_index=0)
+    plan.target_stall(
+        at=fault_start + 20e-6,
+        target_index=0,
+        duration=(fault_end - fault_start) * 0.6,
+    )
+    result = run_chaos_trial(
+        system=system,
+        seed=seed,
+        threads=threads,
+        groups_per_thread=groups_per_thread,
+        plan=plan,
+    )
+    before = [t for _s, _g, t in result.completion_log if t < fault_start]
+    during = [
+        t for _s, _g, t in result.completion_log if fault_start <= t < fault_end
+    ]
+    after = [t for _s, _g, t in result.completion_log if t >= fault_end]
+    end = result.elapsed
+    return {
+        "ok": float(result.ok),
+        "before_rate": len(before) / fault_start if fault_start else 0.0,
+        "during_rate": len(during) / (fault_end - fault_start),
+        "after_rate": (
+            len(after) / (end - fault_end) if end > fault_end else 0.0
+        ),
+        "completed": float(result.completed_groups),
+        "total": float(result.total_groups),
+    }

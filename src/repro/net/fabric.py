@@ -47,6 +47,11 @@ class Message:
     payload: Any
     nbytes: int
     sent_at: float = field(default=0.0)
+    #: Set by fault injection: the message still crosses the wire but the
+    #: receiver's CRC check discards it on delivery (NVMe-oF transports
+    #: checksum their capsules, so corruption manifests as a drop detected
+    #: at the receiver — the sender must retry).
+    corrupted: bool = field(default=False)
 
     def __post_init__(self):
         if self.nbytes <= 0:
@@ -119,6 +124,12 @@ class QpEndpoint:
     def deliver(self, message: Message) -> None:
         if self.down or self._handler is None:
             return  # dropped on the floor, like a dead receiver
+        if message.corrupted:
+            # CRC failure on the received capsule: discard silently (the
+            # sender's timeout/retry machinery is responsible for recovery).
+            self.env.trace("fault", "corrupt_discard", qp=self.qp.index,
+                           side=self.side, msg=message.kind)
+            return
         self.env.process(self._handler(message))
 
 
@@ -147,11 +158,41 @@ class QueuePair:
         self.propagation_delay = propagation_delay * rng.uniform(0.85, 1.35)
         self.endpoints = (QpEndpoint(self, 0), QpEndpoint(self, 1))
         self._queues = (Store(env), Store(env))
+        #: Optional :class:`repro.sim.faults.FaultPlan` consulted per
+        #: message.  None (the default) costs one attribute check per
+        #: message and draws no RNG — the fault plane is free when off.
+        self.fault_plan = None
+        #: Bumped on every transient breakdown (diagnostics only; epoch
+        #: discarding is what actually drops in-flight messages).
+        self.generation = 0
+        self._breakdown_callbacks: List[Callable[["QueuePair"], None]] = []
         env.process(self._pump(0))
         env.process(self._pump(1))
 
     def enqueue(self, side: int, message: Message, epoch: int) -> None:
         self._queues[side].put((message, epoch))
+
+    def on_breakdown(self, callback: Callable[["QueuePair"], None]) -> None:
+        """Register a callback fired when this QP breaks down."""
+        self._breakdown_callbacks.append(callback)
+
+    def breakdown(self) -> None:
+        """Transient QP failure (RC error state).
+
+        Both endpoints bump their epoch, so every in-flight message — queued
+        or on the wire — is discarded, exactly like a torn-down RC
+        connection.  Unlike :meth:`QpEndpoint.crash` the endpoints stay up:
+        the connection is immediately usable at the new epoch, and the
+        registered callbacks (the initiator driver) handle reconnect and
+        resubmission.
+        """
+        self.generation += 1
+        for endpoint in self.endpoints:
+            endpoint.epoch += 1
+        self.env.trace("fault", "qp_breakdown", qp=self.index,
+                       generation=self.generation)
+        for callback in list(self._breakdown_callbacks):
+            callback(self)
 
     def _pump(self, side: int):
         """Serially ship messages from ``side`` to the other side (FIFO)."""
@@ -162,6 +203,19 @@ class QueuePair:
             message, epoch = yield queue.get()
             if sender.down or epoch != sender.epoch:
                 continue  # message from a crashed epoch: dropped
+            plan = self.fault_plan
+            if plan is not None:
+                verdict, extra_delay = plan.message_verdict(self, side, message)
+                if verdict == "drop":
+                    continue  # lost on the wire: never delivered
+                if verdict == "corrupt":
+                    message.corrupted = True
+                elif verdict == "delay":
+                    # Head-of-line delay: RC transport is FIFO, so a stuck
+                    # message holds back its successors on the same QP.
+                    yield self.env.timeout(extra_delay)
+                    if epoch != sender.epoch:
+                        continue
             yield from sender.nic.occupy_tx(message.nbytes)
             yield self.env.timeout(
                 self.rng.jitter(self.propagation_delay, 0.15)
@@ -207,6 +261,9 @@ class Fabric:
             )
         self.propagation_delay = propagation_delay
         self._qps: List[QueuePair] = []
+        #: Fault plan propagated onto every queue pair (set by
+        #: :meth:`repro.sim.faults.FaultPlan.install`).
+        self.fault_plan = None
 
     def connect(self, nic_a: Nic, nic_b: Nic, num_qps: int) -> List[QueuePair]:
         """Create ``num_qps`` RC queue pairs (or TCP sockets) between NICs."""
@@ -223,6 +280,7 @@ class Fabric:
                 propagation_delay=self.propagation_delay,
                 transport=self.transport,
             )
+            qp.fault_plan = self.fault_plan
             self._qps.append(qp)
             qps.append(qp)
         return qps

@@ -39,6 +39,8 @@ __all__ = [
     "FLAG_SPLIT",
     "FLAG_IPU",
     "FLAG_MERGED",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
     "RioFields",
     "NvmeCommand",
     "NvmeResponse",
@@ -58,6 +60,13 @@ RIO_OP_RECOVERY = 0x2
 FLAG_BOUNDARY = 0x1  # final request of an ordered group (§4.2)
 FLAG_SPLIT = 0x2  # fragment of a divided request (§4.5)
 FLAG_IPU = 0x4  # in-place update: no automatic roll-back (§4.4.2)
+
+# Completion status codes carried in the CQE status field (and mirrored
+# onto BlockRequest.status / Bio.status up the stack).
+STATUS_OK = 0x00
+#: Host-side expiry: the command's retry budget ran out before any
+#: response arrived (mirrors NVMe "Command Abort Requested", 0x07).
+STATUS_TIMEOUT = 0x07
 FLAG_MERGED = 0x8  # covers several merged requests (atomic unit)
 
 _MASK_32 = 0xFFFF_FFFF

@@ -13,17 +13,19 @@ per-byte CPU cost by k (Lesson 3, Figure 3).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from itertools import count
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from repro.block.request import BlockRequest
 from repro.hw.cpu import Core, CpuSet
 from repro.hw.nic import Nic
-from repro.net.fabric import Message, QpEndpoint
+from repro.net.fabric import Message, QpEndpoint, QueuePair
 from repro.nvmeof.command import (
     OP_FLUSH,
     OP_READ,
     OP_WRITE,
+    STATUS_TIMEOUT,
     NvmeCommand,
     NvmeResponse,
     RioFields,
@@ -31,7 +33,80 @@ from repro.nvmeof.command import (
 from repro.nvmeof.costs import DEFAULT_COSTS, CpuCosts
 from repro.sim.engine import Environment, Event
 
-__all__ = ["InitiatorServer", "RemoteNamespace", "InitiatorDriver"]
+__all__ = [
+    "InitiatorServer",
+    "RemoteNamespace",
+    "InitiatorDriver",
+    "DriverHardening",
+    "RpcTimeout",
+    "RECONNECT_DELAY",
+]
+
+#: Latency of tearing down and re-arming a broken queue pair (modem-level
+#: RC reconnect: destroy QP, re-exchange, transition to RTS).
+RECONNECT_DELAY = 20e-6
+
+
+class RpcTimeout(Exception):
+    """A control-plane RPC exhausted its retry budget without a reply."""
+
+
+@dataclass
+class DriverHardening:
+    """Transient-fault hardening knobs for :class:`InitiatorDriver`.
+
+    Everything defaults to *off* so that a stock driver schedules no extra
+    events and behaves bit-identically to the unhardened one — the fault
+    plane must be zero-cost when inactive.
+
+    ``command_timeout``/``rpc_timeout``
+        Per-attempt expiry in virtual seconds (None disables the watchdog).
+    ``max_retries``
+        Retransmissions allowed after the first attempt; when exhausted the
+        command error-completes with ``STATUS_TIMEOUT`` (an RPC waiter
+        fails with :class:`RpcTimeout`).
+    ``backoff``
+        Multiplier applied to the expiry after every retry (exponential
+        backoff; deterministic — no jitter, the simulation is seeded).
+    ``watch_liveness``
+        Register every pending completion with
+        :meth:`repro.sim.engine.Environment.watch_liveness`, so an orphaned
+        waiter raises a diagnosable ``SimDeadlock`` instead of hanging.
+    """
+
+    command_timeout: Optional[float] = None
+    rpc_timeout: Optional[float] = None
+    max_retries: int = 0
+    backoff: float = 2.0
+    watch_liveness: bool = False
+
+
+@dataclass
+class _PendingCommand:
+    """Driver-side state of one in-flight NVMe-oF command."""
+
+    done: Event
+    cmd: NvmeCommand
+    ns: "RemoteNamespace"
+    request: Optional[BlockRequest]
+    endpoint: QpEndpoint
+    nbytes: int
+    attempts: int = 0
+    liveness_token: Optional[int] = None
+
+
+@dataclass
+class _PendingRpc:
+    """Driver-side state of one in-flight control-plane RPC."""
+
+    waiter: Event
+    rpc_id: int
+    kind: str
+    payload: Any
+    nbytes: int
+    endpoint: QpEndpoint
+    attempts: int = 0
+    liveness_token: Optional[int] = None
 
 
 class InitiatorServer:
@@ -80,15 +155,23 @@ class InitiatorDriver:
         env: Environment,
         server: InitiatorServer,
         costs: CpuCosts = DEFAULT_COSTS,
+        hardening: Optional[DriverHardening] = None,
     ):
         self.env = env
         self.server = server
         self.costs = costs
+        self.hardening = hardening if hardening is not None else DriverHardening()
         self._cids = count(1)
         self._rpc_ids = count(1)
-        self._pending: Dict[int, Tuple[Event, NvmeCommand]] = {}
-        self._pending_rpcs: Dict[int, Event] = {}
+        self._pending: Dict[int, _PendingCommand] = {}
+        self._pending_rpcs: Dict[int, _PendingRpc] = {}
         self.commands_sent = 0
+        self.retries = 0
+        self.rpc_retries = 0
+        self.commands_timed_out = 0
+        self.rpcs_timed_out = 0
+        self.reconnects = 0
+        self.commands_resubmitted = 0
         self._registered_endpoints: set = set()
         self._last_irq: Dict[int, float] = {}
 
@@ -104,6 +187,7 @@ class InitiatorDriver:
             self._registered_endpoints.add(id(endpoint))
             irq_core = self.server.cpus.pick(index)
             endpoint.set_receive_handler(self._make_handler(irq_core))
+            endpoint.qp.on_breakdown(self._on_qp_breakdown)
 
     def _make_handler(self, irq_core: Core):
         def handler(message: Message):
@@ -126,19 +210,29 @@ class InitiatorDriver:
             response, read_payload = message.payload
             entry = self._pending.pop(response.cid, None)
             if entry is None:
-                return  # duplicate/stale response (post-recovery replay)
-            done, cmd = entry
+                return  # duplicate/stale response (retry, replay)
+            self._unwatch(entry)
+            done, cmd = entry.done, entry.cmd
             yield from core.run(self.costs.completion_interrupt)
             if read_payload is not None:
                 cmd.payload = read_payload
+            if response.status and entry.request is not None:
+                entry.request.status = response.status
             if not done.triggered:
                 done.succeed(cmd)
         elif message.kind == "rpc_resp":
             rpc_id, payload = message.payload
-            waiter = self._pending_rpcs.pop(rpc_id, None)
+            entry = self._pending_rpcs.pop(rpc_id, None)
             yield from core.run(self.costs.completion_interrupt)
-            if waiter is not None and not waiter.triggered:
-                waiter.succeed(payload)
+            if entry is not None:
+                self._unwatch(entry)
+                if not entry.waiter.triggered:
+                    entry.waiter.succeed(payload)
+
+    def _unwatch(self, entry) -> None:
+        if entry.liveness_token is not None:
+            self.env.unwatch_liveness(entry.liveness_token)
+            entry.liveness_token = None
 
     # ------------------------------------------------------------------
     # Submission
@@ -154,8 +248,6 @@ class InitiatorDriver:
         yield from core.run(self.costs.command_build_and_post)
         cmd = self.command_from_request(request, ns)
         done = Event(self.env)
-        self._pending[cmd.cid] = (done, cmd)
-        self.commands_sent += 1
         endpoint = ns.endpoint_for(request.qp_index)
         nbytes = NvmeCommand.WIRE_SIZE
         if endpoint.qp.transport == "tcp":
@@ -168,7 +260,22 @@ class InitiatorDriver:
                 + self.costs.tcp_copy_per_block * data_blocks
             )
             nbytes += cmd.nbytes if cmd.opcode == OP_WRITE else 0
+        entry = _PendingCommand(
+            done=done, cmd=cmd, ns=ns, request=request,
+            endpoint=endpoint, nbytes=nbytes,
+        )
+        self._pending[cmd.cid] = entry
+        self.commands_sent += 1
         endpoint.post_send(Message(kind="nvme_cmd", payload=cmd, nbytes=nbytes))
+        cfg = self.hardening
+        if cfg.watch_liveness:
+            entry.liveness_token = self.env.watch_liveness(
+                done,
+                f"nvme cid={cmd.cid} op={cmd.opcode} "
+                f"target={ns.target.name} qp={endpoint.qp.index}",
+            )
+        if cfg.command_timeout is not None:
+            self.env.process(self._command_watchdog(entry))
         return done
 
     def command_from_request(
@@ -214,11 +321,173 @@ class InitiatorDriver:
         yield from core.run(self.costs.command_build_and_post)
         rpc_id = next(self._rpc_ids)
         waiter = Event(self.env)
-        self._pending_rpcs[rpc_id] = waiter
+        entry = _PendingRpc(
+            waiter=waiter, rpc_id=rpc_id, kind=kind, payload=payload,
+            nbytes=nbytes, endpoint=endpoint,
+        )
+        self._pending_rpcs[rpc_id] = entry
         endpoint.post_send(
             Message(kind=kind, payload=(rpc_id, payload), nbytes=nbytes)
         )
+        cfg = self.hardening
+        if cfg.watch_liveness:
+            entry.liveness_token = self.env.watch_liveness(
+                waiter, f"rpc {kind} id={rpc_id} qp={endpoint.qp.index}"
+            )
+        if cfg.rpc_timeout is not None:
+            self.env.process(self._rpc_watchdog(entry))
         return waiter
+
+    # ------------------------------------------------------------------
+    # Transient-fault hardening: expiry, retries, reconnect
+    # ------------------------------------------------------------------
+
+    def _command_watchdog(self, entry: _PendingCommand):
+        """Per-command expiry: retry with exponential backoff, then
+        error-complete (``STATUS_TIMEOUT``) when the budget runs out.
+
+        A retry re-posts the *same* command (same CID, same ordering
+        attribute): the target's duplicate suppression makes re-execution
+        of ordered writes idempotent, and the driver drops whichever
+        response arrives second.
+        """
+        cfg = self.hardening
+        delay = cfg.command_timeout
+        while True:
+            expiry = self.env.timeout(delay)
+            yield self.env.any_of([entry.done, expiry])
+            if entry.done.triggered:
+                return
+            if entry.cmd.cid not in self._pending:
+                return  # completed/aborted concurrently
+            if entry.attempts >= cfg.max_retries:
+                self._pending.pop(entry.cmd.cid, None)
+                self._unwatch(entry)
+                self.commands_timed_out += 1
+                if entry.request is not None:
+                    entry.request.status = STATUS_TIMEOUT
+                self.env.trace(
+                    "driver", "command_abort", cid=entry.cmd.cid,
+                    attempts=entry.attempts, cause="retry budget exhausted",
+                )
+                if not entry.done.triggered:
+                    entry.done.succeed(entry.cmd)
+                return
+            entry.attempts += 1
+            self.retries += 1
+            delay *= cfg.backoff
+            self.env.trace(
+                "driver", "retry", cid=entry.cmd.cid, attempt=entry.attempts,
+                next_timeout=delay, cause="command expiry",
+            )
+            self._repost_command(entry)
+
+    def _rpc_watchdog(self, entry: _PendingRpc):
+        cfg = self.hardening
+        delay = cfg.rpc_timeout
+        while True:
+            expiry = self.env.timeout(delay)
+            yield self.env.any_of([entry.waiter, expiry])
+            if entry.waiter.triggered:
+                return
+            if entry.rpc_id not in self._pending_rpcs:
+                return
+            if entry.attempts >= cfg.max_retries:
+                self._pending_rpcs.pop(entry.rpc_id, None)
+                self._unwatch(entry)
+                self.rpcs_timed_out += 1
+                self.env.trace(
+                    "driver", "rpc_abort", rpc_id=entry.rpc_id,
+                    kind=entry.kind, attempts=entry.attempts,
+                    cause="retry budget exhausted",
+                )
+                if not entry.waiter.triggered:
+                    entry.waiter.fail(RpcTimeout(
+                        f"rpc {entry.kind!r} id={entry.rpc_id} got no reply "
+                        f"after {entry.attempts + 1} attempts"
+                    ))
+                return
+            entry.attempts += 1
+            self.rpc_retries += 1
+            delay *= cfg.backoff
+            self.env.trace(
+                "driver", "rpc_retry", rpc_id=entry.rpc_id, kind=entry.kind,
+                attempt=entry.attempts, next_timeout=delay,
+                cause="rpc expiry",
+            )
+            self._repost_rpc(entry)
+
+    def _repost_command(self, entry: _PendingCommand) -> None:
+        """Retransmit without CPU charge (timer/IRQ context)."""
+        request = entry.request
+        if request is not None and request.qp_index is not None:
+            entry.endpoint = entry.ns.endpoint_for(request.qp_index)
+        entry.endpoint.post_send(
+            Message(kind="nvme_cmd", payload=entry.cmd, nbytes=entry.nbytes)
+        )
+
+    def _repost_rpc(self, entry: _PendingRpc) -> None:
+        entry.endpoint.post_send(
+            Message(
+                kind=entry.kind,
+                payload=(entry.rpc_id, entry.payload),
+                nbytes=entry.nbytes,
+            )
+        )
+
+    def _on_qp_breakdown(self, qp: QueuePair) -> None:
+        self.env.process(self._reconnect_and_resubmit(qp))
+
+    def _reconnect_and_resubmit(self, qp: QueuePair):
+        """Epoch-bumping reconnect after a QP breakdown.
+
+        The breakdown already bumped both endpoints' epochs (discarding
+        everything in flight).  After the reconnect delay, every pending
+        command that was traveling on the broken QP is resubmitted in
+        original submission order (CIDs are monotonic), so the per-QP FIFO
+        delivery the ordering design leans on (Principle 2) is restored.
+        """
+        self.reconnects += 1
+        yield self.env.timeout(RECONNECT_DELAY)
+        self.env.trace("driver", "reconnect", qp=qp.index,
+                       cause="qp breakdown")
+        commands = sorted(
+            (e for e in self._pending.values() if e.endpoint.qp is qp),
+            key=lambda e: e.cmd.cid,
+        )
+        for entry in commands:
+            self.commands_resubmitted += 1
+            self.env.trace("driver", "resubmit", cid=entry.cmd.cid,
+                           qp=qp.index, cause="qp breakdown")
+            self._repost_command(entry)
+        rpcs = sorted(
+            (e for e in self._pending_rpcs.values() if e.endpoint.qp is qp),
+            key=lambda e: e.rpc_id,
+        )
+        for entry in rpcs:
+            self.env.trace("driver", "resubmit_rpc", rpc_id=entry.rpc_id,
+                           kind=entry.kind, qp=qp.index,
+                           cause="qp breakdown")
+            self._repost_rpc(entry)
+
+    # ------------------------------------------------------------------
+    # Bookkeeping / leak checks
+    # ------------------------------------------------------------------
 
     def pending_count(self) -> int:
         return len(self._pending)
+
+    def pending_rpc_count(self) -> int:
+        return len(self._pending_rpcs)
+
+    def assert_no_leaks(self) -> None:
+        """Raise if any pending-table entry leaked (used by tests after a
+        workload has fully quiesced)."""
+        if self._pending or self._pending_rpcs:
+            cids = sorted(self._pending)[:8]
+            rpcs = sorted(self._pending_rpcs)[:8]
+            raise AssertionError(
+                f"driver leaked {len(self._pending)} pending command(s) "
+                f"(cids {cids}) and {len(self._pending_rpcs)} pending "
+                f"rpc(s) (ids {rpcs})"
+            )

@@ -19,7 +19,7 @@ Linux data path.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.hw.cpu import Core, CpuSet
 from repro.hw.nic import Nic
@@ -34,7 +34,7 @@ from repro.nvmeof.command import (
     NvmeResponse,
 )
 from repro.nvmeof.costs import DEFAULT_COSTS, CpuCosts
-from repro.sim.engine import Environment
+from repro.sim.engine import Environment, Event
 
 __all__ = ["TargetPolicy", "TargetContext", "TargetServer"]
 
@@ -59,6 +59,11 @@ class TargetContext:
         self.endpoint = endpoint
         self.core = core
         self.completion_core = completion_core or core
+        #: Set by a policy's ``before_submit`` when the command is a
+        #: duplicate of one already admitted (a retransmission): the target
+        #: skips the SSD entirely and acknowledges immediately, keeping
+        #: retried ordered writes idempotent.
+        self.duplicate = False
 
     @property
     def env(self) -> Environment:
@@ -125,6 +130,17 @@ class TargetServer:
         self.crashed = False
         self.endpoints: List[QpEndpoint] = []
         self.commands_received = 0
+        self.duplicates_suppressed = 0
+        #: Power-cycle count: the epoch column of the audit log (replays
+        #: after a restart legitimately reuse per-server positions).
+        self.restarts = 0
+        #: Audit of every *ordered* write actually applied to an SSD:
+        #: (stream_id, server_pos, restart_epoch, virtual time).  The chaos
+        #: harness asserts no (stream, pos) is applied twice per epoch and
+        #: that per-stream positions are submitted in order.
+        self.audit_log: List[Tuple[int, int, int, float]] = []
+        self._stall_until = 0.0
+        self._stall_done = None
         self._last_irq: Dict[int, float] = {}
 
     def install_policy(self, policy: TargetPolicy) -> None:
@@ -160,11 +176,63 @@ class TargetServer:
         if not self.crashed:
             raise RuntimeError(f"{self.name} is not crashed")
         self.crashed = False
+        self.restarts += 1
         for ssd in self.ssds:
             ssd.restart()
         for endpoint in self.endpoints:
             endpoint.restart()
         self.policy.on_restart()
+
+    # ------------------------------------------------------------------
+    # Transient faults: stall + duplicate audit
+    # ------------------------------------------------------------------
+
+    def stall(self, duration: float) -> None:
+        """Freeze message processing for ``duration`` seconds.
+
+        Models a wedged target (GC pause, dying disk, livelocked IRQ core):
+        newly arriving messages queue up behind a gate and are processed in
+        arrival order once the stall ends.  Commands already past the gate
+        keep executing.  Overlapping stalls extend each other.
+        """
+        until = self.env.now + duration
+        self.env.trace("fault", "target_stall", target=self.name,
+                       duration=duration, until=until)
+        self._stall_until = max(self._stall_until, until)
+        if self._stall_done is None or self._stall_done.triggered:
+            self._stall_done = Event(self.env)
+            self.env.process(self._stall_timer())
+
+    def _stall_timer(self):
+        while self.env.now < self._stall_until:
+            yield self.env.timeout(self._stall_until - self.env.now)
+        done, self._stall_done = self._stall_done, None
+        self.env.trace("fault", "target_stall_end", target=self.name)
+        done.succeed()
+
+    def duplicate_applies(self) -> List[Tuple[int, int, int]]:
+        """(stream, pos, epoch) keys applied to an SSD more than once."""
+        seen = set()
+        dups = []
+        for stream_id, pos, epoch, _when in self.audit_log:
+            key = (stream_id, pos, epoch)
+            if key in seen:
+                dups.append(key)
+            seen.add(key)
+        return dups
+
+    def submission_order_violations(self) -> List[Tuple[int, int, int]]:
+        """Audit entries whose per-stream position went backwards or
+        repeated within one restart epoch (in-order submission broken)."""
+        highest: Dict[Tuple[int, int], int] = {}
+        violations = []
+        for stream_id, pos, epoch, _when in self.audit_log:
+            key = (stream_id, epoch)
+            last = highest.get(key, -1)
+            if pos <= last:
+                violations.append((stream_id, pos, epoch))
+            highest[key] = max(last, pos)
+        return violations
 
     # ------------------------------------------------------------------
     # Message handling
@@ -189,6 +257,10 @@ class TargetServer:
     ):
         if self.crashed:
             return
+        if self._stall_done is not None and not self._stall_done.triggered:
+            yield self._stall_done  # wedged target: park until it recovers
+            if self.crashed:
+                return
         ctx = TargetContext(self, endpoint, core, completion_core)
         yield from core.run(self._irq_cost(core))
         try:
@@ -238,8 +310,27 @@ class TargetServer:
         yield from self.policy.before_submit(ctx, cmd)
         if self.crashed:
             return
+        if ctx.duplicate:
+            # A retransmission of an already-admitted ordered write: never
+            # re-applied (idempotent retry).  Acknowledge immediately — the
+            # original execution owns persistence and ordering.
+            self.duplicates_suppressed += 1
+            yield from ctx.completion_core.run(self.costs.response_post)
+            endpoint.post_send(
+                Message(
+                    kind="nvme_resp",
+                    payload=(NvmeResponse(cid=cmd.cid), None),
+                    nbytes=NvmeResponse.WIRE_SIZE,
+                )
+            )
+            return
 
         ssd = self.ssds[cmd.nsid]
+        attr = getattr(cmd.context, "attr", None) if cmd.context is not None else None
+        if attr is not None and cmd.opcode == OP_WRITE:
+            self.audit_log.append(
+                (attr.stream_id, attr.server_pos, self.restarts, self.env.now)
+            )
         yield from core.run(self.costs.nvme_submit)
         if cmd.opcode == OP_FLUSH:
             io = DiskIO(op="flush")

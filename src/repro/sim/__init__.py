@@ -18,9 +18,11 @@ from repro.sim.engine import (
     Event,
     Interrupt,
     Process,
+    SimDeadlock,
     SimulationError,
     Timeout,
 )
+from repro.sim.faults import FaultPlan, FaultRecord
 from repro.sim.resources import Resource, Store
 from repro.sim.rng import DeterministicRNG
 from repro.sim.stats import BusyTracker, Counter, LatencyRecorder, ThroughputMeter
@@ -29,8 +31,11 @@ from repro.sim.trace import TraceEvent, Tracer
 __all__ = [
     "Environment",
     "Event",
+    "FaultPlan",
+    "FaultRecord",
     "Interrupt",
     "Process",
+    "SimDeadlock",
     "SimulationError",
     "Timeout",
     "Resource",

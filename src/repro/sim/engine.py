@@ -28,6 +28,7 @@ from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
     "SimulationError",
+    "SimDeadlock",
     "Interrupt",
     "Event",
     "Timeout",
@@ -39,6 +40,18 @@ __all__ = [
 
 class SimulationError(Exception):
     """Raised for misuse of the simulation kernel (e.g. double-trigger)."""
+
+
+class SimDeadlock(SimulationError):
+    """The event heap drained while liveness-watched waiters were pending.
+
+    Virtual time has no external inputs: once the heap is empty nothing can
+    ever fire a pending event, so a drained heap with registered waiters is
+    a genuine deadlock (e.g. a completion orphaned by a dropped message).
+    Components register must-fire events via
+    :meth:`Environment.watch_liveness` to turn silent hangs into this
+    diagnosable failure.
+    """
 
 
 class Interrupt(Exception):
@@ -273,6 +286,10 @@ class Environment:
         self._heap: List = []
         self._eid = count()
         self._active_process: Optional[Process] = None
+        #: Liveness registry: token -> (event, description).  Checked when
+        #: the heap drains; see :class:`SimDeadlock`.
+        self._liveness: dict = {}
+        self._liveness_ids = count()
         #: Optional :class:`repro.sim.trace.Tracer`; instrumented
         #: components emit via :meth:`trace` when one is attached.
         self.tracer = None
@@ -309,6 +326,39 @@ class Environment:
     def any_of(self, events: Iterable[Event]) -> Condition:
         return Condition(self, events, _any_fired)
 
+    # -- liveness watching ---------------------------------------------------
+
+    def watch_liveness(self, event: Event, description: str = "") -> int:
+        """Register ``event`` as one that *must* eventually fire.
+
+        Returns a token for :meth:`unwatch_liveness`.  If the event heap
+        ever drains while a watched event is still pending, the run loop
+        raises :class:`SimDeadlock` naming the stuck waiters instead of
+        returning as if the simulation finished cleanly.
+        """
+        token = next(self._liveness_ids)
+        self._liveness[token] = (event, description)
+        return token
+
+    def unwatch_liveness(self, token: int) -> None:
+        self._liveness.pop(token, None)
+
+    def _raise_if_deadlocked(self) -> None:
+        if not self._liveness:
+            return
+        pending = [
+            description or repr(event)
+            for event, description in self._liveness.values()
+            if not event.triggered
+        ]
+        if pending:
+            shown = "; ".join(pending[:8])
+            more = f" (+{len(pending) - 8} more)" if len(pending) > 8 else ""
+            raise SimDeadlock(
+                f"event heap drained at t={self._now} with "
+                f"{len(pending)} pending waiter(s): {shown}{more}"
+            )
+
     # -- scheduling ----------------------------------------------------------
 
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
@@ -335,17 +385,22 @@ class Environment:
         if until is None:
             while self._heap:
                 self.step()
+            self._raise_if_deadlocked()
             return
         if until < self._now:
             raise ValueError(f"until={until} is in the past (now={self._now})")
         while self._heap and self._heap[0][0] <= until:
             self.step()
+        if not self._heap:
+            # Nothing can ever fire again: a watched waiter is stuck.
+            self._raise_if_deadlocked()
         self._now = until
 
     def run_until_event(self, event: Event, limit: float = float("inf")) -> Any:
         """Run until ``event`` fires; returns its value. Raises on failure."""
         while not event.triggered:
             if not self._heap:
+                self._raise_if_deadlocked()
                 raise SimulationError("event can never fire: heap is empty")
             if self._heap[0][0] > limit:
                 raise SimulationError(f"event did not fire before t={limit}")

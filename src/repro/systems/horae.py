@@ -154,6 +154,7 @@ class HoraeStack(OrderedStack):
         if flush and self._needs_flush:
             bio.flags.flush = True
         event = Event(self.env)
+        event.bio = bio  # error/status visibility for callers
         stream.group_bios.append(bio)
         stream.group_events.append(event)
         yield from core.run(0.05e-6)

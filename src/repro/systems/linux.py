@@ -78,6 +78,7 @@ class LinuxOrderedStack(OrderedStack):
         if flush:
             bio.flags.flush = True
         event = Event(self.env)
+        event.bio = bio  # error/status visibility for callers
         chain.group_bios.append(bio)
         chain.group_events.append(event)
         yield from core.run(0.05e-6)  # bookkeeping

@@ -303,3 +303,99 @@ def test_peek_reports_next_event_time():
     assert env.peek() == 0.0
     env.step()
     assert env.peek() == 7.0
+
+
+# ----------------------------------------------------------------------
+# Liveness watching / SimDeadlock
+# ----------------------------------------------------------------------
+
+
+def test_watched_pending_event_raises_simdeadlock_on_drain():
+    from repro.sim import SimDeadlock
+
+    env = Environment()
+    stuck = env.event()
+    env.watch_liveness(stuck, "completion of cmd 7")
+
+    def waiter(env):
+        yield stuck
+
+    env.process(waiter(env))
+    with pytest.raises(SimDeadlock, match="completion of cmd 7"):
+        env.run()
+
+
+def test_simdeadlock_raised_from_run_until():
+    from repro.sim import SimDeadlock
+
+    env = Environment()
+    stuck = env.event()
+    env.watch_liveness(stuck, "stuck waiter")
+
+    def waiter(env):
+        yield stuck
+
+    env.process(waiter(env))
+    with pytest.raises(SimDeadlock):
+        env.run(until=10.0)
+
+
+def test_simdeadlock_raised_from_run_until_event():
+    from repro.sim import SimDeadlock
+
+    env = Environment()
+    stuck = env.event()
+    other = env.event()
+    env.watch_liveness(stuck, "stuck waiter")
+    with pytest.raises(SimDeadlock):
+        env.run_until_event(other)
+
+
+def test_fired_watched_event_is_not_a_deadlock():
+    env = Environment()
+    done = env.event()
+    env.watch_liveness(done, "fires later")
+
+    def firer(env):
+        yield env.timeout(1.0)
+        done.succeed()
+
+    env.process(firer(env))
+    env.run()  # must not raise
+    assert done.triggered
+
+
+def test_unwatch_liveness_clears_registration():
+    env = Environment()
+    stuck = env.event()
+    token = env.watch_liveness(stuck, "will be unwatched")
+    env.unwatch_liveness(token)
+
+    def waiter(env):
+        yield stuck
+
+    env.process(waiter(env))
+    env.run()  # drains with a stuck waiter, but nothing is watched
+
+
+def test_unwatched_drain_stays_silent():
+    """Without liveness registrations, a drained heap is a normal finish."""
+    env = Environment()
+    stuck = env.event()
+
+    def waiter(env):
+        yield stuck
+
+    env.process(waiter(env))
+    env.run()
+    assert not stuck.triggered
+
+
+def test_simdeadlock_message_caps_listed_waiters():
+    from repro.sim import SimDeadlock
+
+    env = Environment()
+    for i in range(12):
+        env.watch_liveness(env.event(), f"waiter {i}")
+    with pytest.raises(SimDeadlock, match=r"\+4 more"):
+        env.run()
