@@ -29,7 +29,20 @@ from repro.sim.engine import Environment, Event
 if TYPE_CHECKING:  # typing only — avoids a block <-> nvmeof import cycle
     from repro.nvmeof.initiator import InitiatorDriver, RemoteNamespace
 
-__all__ = ["Plug", "BlockLayer"]
+__all__ = ["Plug", "BlockLayer", "observe_merge"]
+
+
+def observe_merge(obs, into: BlockRequest, request: BlockRequest) -> None:
+    """Record a request merge in the span plane: the absorbed request's
+    staging span closes (tagged with the survivor), and the survivor's
+    span widens to cover the absorbed bios.  Shared by the orderless merge
+    path here and Rio's ORDER-queue merge
+    (:meth:`repro.core.scheduler.RioIoScheduler._absorb`)."""
+    survivor = (into.obs or {}).get("queue")
+    if survivor is not None:
+        survivor.attrs["bios"] = tuple(b.bio_id for b in into.bios)
+    absorbed = (request.obs or {}).get("queue")
+    obs.spans.close(absorbed, merged_into=into.req_id)
 
 
 class Plug:
@@ -63,10 +76,29 @@ class BlockLayer:
         self.merging_enabled = merging_enabled
         self.requests_dispatched = 0
         self.bios_merged = 0
+        obs = env.obs
+        if obs is not None:
+            obs.metrics.register_gauge(
+                "block.requests_dispatched", lambda: self.requests_dispatched
+            )
+            obs.metrics.register_gauge(
+                "block.bios_merged", lambda: self.bios_merged
+            )
 
     # ------------------------------------------------------------------
     # Bio entry points
     # ------------------------------------------------------------------
+
+    def open_bio_span(self, bio: Bio) -> None:
+        """Open the bio's ``block.mq`` lifecycle span (idempotent; no-op
+        with no observability attached).  Closed by :meth:`Bio.complete`."""
+        obs = self.env.obs
+        if obs is not None and bio.obs_span is None:
+            bio.obs_span = obs.spans.open(
+                "block.mq", parent=bio.obs_parent, host="initiator",
+                bio=bio.bio_id, op=bio.op, lba=bio.lba, n=bio.nblocks,
+                stream=bio.stream_id, role=bio.obs_role,
+            )
 
     def submit_bio(self, core: Core, bio: Bio, plug: Optional[Plug] = None):
         """Generator: accept a bio; returns its completion event.
@@ -76,6 +108,7 @@ class BlockLayer:
         """
         completion = bio.make_completion(self.env)
         bio.submitted_at = self.env.now
+        self.open_bio_span(bio)
         yield from core.run(self.costs.block_layer_per_bio)
         fragments = self.split_bio(bio)
         bio._pending_fragments = len(fragments)  # type: ignore[attr-defined]
@@ -105,7 +138,7 @@ class BlockLayer:
         """Break a bio into per-device, size-limited request fragments."""
         if bio.op == "flush":
             # A bare flush fans out to every member device.
-            return [
+            return self._observe_fragments(bio, [
                 (
                     ns,
                     BlockRequest(
@@ -118,7 +151,7 @@ class BlockLayer:
                     ),
                 )
                 for ns in self.volume.namespaces
-            ]
+            ])
         fragments: List[Tuple["RemoteNamespace", BlockRequest]] = []
         extents = list(self.volume.extents(bio.lba, bio.nblocks))
         split = len(extents) > 1 or any(
@@ -152,6 +185,28 @@ class BlockLayer:
                 )
                 fragments.append((ns, request))
                 start += chunk
+        return self._observe_fragments(bio, fragments)
+
+    def _observe_fragments(
+        self, bio: Bio, fragments: List[Tuple["RemoteNamespace", BlockRequest]]
+    ) -> List[Tuple["RemoteNamespace", BlockRequest]]:
+        """Open an ``initiator.queue`` span per fragment (staging -> dispatch).
+
+        Gated on the bio's own span being open: callers that use
+        :meth:`split_bio` merely to *plan* fragments (HoraeFS computing its
+        control-path extents) never submitted the bio, and their throwaway
+        fragments must not appear in the span forest."""
+        obs = self.env.obs
+        if obs is not None and bio.obs_span is not None:
+            for _ns, request in fragments:
+                request.obs = {
+                    "queue": obs.spans.open(
+                        "initiator.queue", parent=bio.obs_span,
+                        host="initiator", req=request.req_id, op=request.op,
+                        lba=request.lba, n=request.nblocks,
+                        stream=request.stream_id, bios=(bio.bio_id,),
+                    )
+                }
         return fragments
 
     # ------------------------------------------------------------------
@@ -194,8 +249,7 @@ class BlockLayer:
             last_by_ns[id(ns)] = len(merged) - 1
         return merged
 
-    @staticmethod
-    def _absorb(prev: BlockRequest, request: BlockRequest) -> None:
+    def _absorb(self, prev: BlockRequest, request: BlockRequest) -> None:
         prev.nblocks += request.nblocks
         prev.bios.extend(request.bios)
         prev.flush = prev.flush or request.flush
@@ -203,6 +257,9 @@ class BlockLayer:
             prev.payload = prev.payload + request.payload
         elif request.payload is not None:
             prev.payload = ([None] * (prev.nblocks - request.nblocks)) + request.payload
+        obs = self.env.obs
+        if obs is not None:
+            observe_merge(obs, prev, request)
 
     # ------------------------------------------------------------------
     # Dispatch + completion fan-out
@@ -215,6 +272,13 @@ class BlockLayer:
         for bio in request.bios:
             if not bio.dispatched_at:
                 bio.dispatched_at = self.env.now
+        obs = self.env.obs
+        if obs is not None and request.obs is not None:
+            # The staging span's end is the dispatch moment — by design the
+            # same timestamp as ``bio.dispatched_at`` just above, so the
+            # Fig. 14 reconstruction from spans matches the harness exactly.
+            obs.spans.close(request.obs.get("queue"), dispatched=1,
+                            qp=request.qp_index)
         done = yield from self.driver.submit(core, ns, request)
         self.requests_dispatched += 1
         self.env.process(self._complete_when_done(done, request))

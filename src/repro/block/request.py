@@ -71,6 +71,14 @@ class Bio:
     #: error-completed — e.g. the driver's retry budget ran out
     #: (:data:`repro.nvmeof.command.STATUS_TIMEOUT`).
     status: int = 0
+    #: Observability plumbing (all None/"" unless an
+    #: :class:`repro.sim.obs.Observability` is attached): the bio's own
+    #: ``block.mq`` span, the parent span to nest it under (e.g. the
+    #: journal commit's ``fs.journal`` span) and a role label ("data",
+    #: "jm", "jc", ...) the Fig. 14 reconstruction keys on.
+    obs_span: Any = None
+    obs_parent: Any = None
+    obs_role: str = ""
 
     def __post_init__(self):
         if self.op not in ("write", "read", "flush"):
@@ -96,6 +104,11 @@ class Bio:
 
     def complete(self, env: Environment) -> None:
         self.completed_at = env.now
+        if self.obs_span is not None:
+            obs = env.obs
+            if obs is not None:
+                obs.spans.close(self.obs_span, status=self.status)
+            self.obs_span = None
         if self.completion is not None and not self.completion.triggered:
             self.completion.succeed(self)
 
@@ -140,6 +153,9 @@ class BlockRequest:
     #: For split fragments: block offsets within the parent bio covered by
     #: this fragment (used to reassemble read payloads).
     volume_offsets: Optional[List[int]] = None
+    #: Observability span context ({"queue": Span, "fabric": Span}), set by
+    #: the block layer / driver only when an Observability is attached.
+    obs: Any = None
 
     def __post_init__(self):
         if self.op not in ("write", "read", "flush"):

@@ -6,10 +6,16 @@ Usage::
     python -m repro run fig10b
     python -m repro run fig13 --duration 0.01
     python -m repro run all
+    python -m repro trace --fs riofs --out rio.trace.json
+    python -m repro metrics --fs riofs --format csv
 
 ``--duration`` is *virtual* seconds of measured window per configuration;
 the simulation is deterministic, so longer windows change results by
 little but take proportionally longer to run.
+
+``trace`` runs the instrumented fsync probe and exports the request
+lifecycle spans as a Chrome ``chrome://tracing`` / Perfetto JSON file;
+``metrics`` exports the metrics registry snapshot as CSV or JSON.
 """
 
 from __future__ import annotations
@@ -103,7 +109,67 @@ def main(argv=None) -> int:
                      help="virtual seconds per configuration")
     run.add_argument("--format", choices=("table", "markdown"),
                      default="table", help="output format")
+    trace = sub.add_parser(
+        "trace", help="export request-lifecycle spans as a Chrome trace"
+    )
+    trace.add_argument("--fs", default="riofs",
+                       choices=("ext4", "horaefs", "riofs"),
+                       help="file system to run the fsync probe on")
+    trace.add_argument("--layout", default="optane",
+                       help="hardware layout (see harness LAYOUTS)")
+    trace.add_argument("--iterations", type=int, default=20,
+                       help="append+fsync iterations to trace")
+    trace.add_argument("--out", default="repro.trace.json",
+                       help="output path (chrome://tracing JSON)")
+    trace.add_argument("--validate", action="store_true",
+                       help="validate the export against the trace_event "
+                       "schema before writing")
+    metrics = sub.add_parser(
+        "metrics", help="export the metrics registry of an instrumented run"
+    )
+    metrics.add_argument("--fs", default="riofs",
+                         choices=("ext4", "horaefs", "riofs"))
+    metrics.add_argument("--layout", default="optane")
+    metrics.add_argument("--iterations", type=int, default=20)
+    metrics.add_argument("--format", choices=("csv", "json"), default="csv")
+    metrics.add_argument("--out", default=None,
+                         help="output path (default: stdout)")
     args = parser.parse_args(argv)
+
+    if args.command == "trace":
+        from repro.harness.obs import traced_fsync_run
+        from repro.sim.obs.export import (
+            validate_chrome_trace,
+            write_chrome_trace,
+        )
+
+        probe = traced_fsync_run(args.fs, layout=args.layout,
+                                 iterations=args.iterations,
+                                 with_tracer=True)
+        doc = write_chrome_trace(probe.obs, args.out,
+                                 tracer=probe.env.tracer)
+        if args.validate:
+            validate_chrome_trace(doc)
+            print("trace_event schema: OK")
+        print(f"{len(probe.obs.spans)} spans "
+              f"({len(doc['traceEvents'])} trace events) -> {args.out}")
+        return 0
+
+    if args.command == "metrics":
+        from repro.harness.obs import traced_fsync_run
+        from repro.sim.obs.export import metrics_csv, metrics_json
+
+        probe = traced_fsync_run(args.fs, layout=args.layout,
+                                 iterations=args.iterations)
+        render = metrics_csv if args.format == "csv" else metrics_json
+        text = render(probe.obs.metrics)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text)
+            print(f"metrics -> {args.out}")
+        else:
+            print(text, end="")
+        return 0
 
     if args.command == "list":
         width = max(len(name) for name in FIGURES)

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, List, Optional, Tuple
 
-from repro.block.mq import BlockLayer
+from repro.block.mq import BlockLayer, observe_merge
 from repro.block.request import Bio, BlockRequest
 from repro.core.attributes import CoveredRequest, OrderingAttribute
 from repro.hw.cpu import CpuSet
@@ -69,6 +69,18 @@ class RioIoScheduler:
         self.released_seq_of = lambda stream_id: 0
         self.requests_merged = 0
         self.requests_dispatched = 0
+        obs = env.obs
+        if obs is not None:
+            obs.metrics.register_gauge(
+                "rio.order_queue_depth",
+                lambda: sum(len(queue) for queue in self._queues),
+            )
+            obs.metrics.register_gauge(
+                "rio.requests_merged", lambda: self.requests_merged
+            )
+            obs.metrics.register_gauge(
+                "rio.requests_dispatched", lambda: self.requests_dispatched
+            )
         for stream_id in range(num_streams):
             env.process(self._pump(stream_id))
 
@@ -90,6 +102,7 @@ class RioIoScheduler:
         yield from core.run(self.costs.block_layer_per_bio)
         bio.submitted_at = self.env.now
         bio.make_completion(self.env)
+        self.block_layer.open_bio_span(bio)
         fragments = self.block_layer.split_bio(bio)
         bio._pending_fragments = len(fragments)  # type: ignore[attr-defined]
         if len(fragments) > 1:
@@ -227,6 +240,9 @@ class RioIoScheduler:
             into.payload = (
                 [None] * (into.nblocks - request.nblocks) + request.payload
             )
+        obs = self.env.obs
+        if obs is not None:
+            observe_merge(obs, into, request)
 
     # ------------------------------------------------------------------
     # Dispatch bookkeeping (per-server order, QP affinity, ack piggyback)

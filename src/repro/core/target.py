@@ -159,6 +159,15 @@ class RioTargetPolicy(TargetPolicy):
     def attach(self, target: TargetServer) -> None:
         self.target = target
         self.log = AttributeLog(target.env, target.pmr)
+        obs = target.env.obs
+        if obs is not None:
+            m = obs.metrics
+            m.register_gauge(f"rio.gate.{target.name}.duplicates_suppressed",
+                             lambda: self.duplicates_suppressed)
+            m.register_gauge(f"rio.gate.{target.name}.out_of_order_arrivals",
+                             lambda: self.out_of_order_arrivals)
+            m.register_gauge(f"rio.gate.{target.name}.stall_s",
+                             lambda: self.stall_time)
 
     # ------------------------------------------------------------------
     # §4.3.1 in-order submission + §4.3.2 attribute persistence

@@ -153,18 +153,29 @@ class Journal:
         stream = self.stream_id
         breakdown = CommitBreakdown(started=self.env.now)
         self._txn_counter += 1
+        obs = self.env.obs
+        cspan = None
+        if obs is not None:
+            # The commit's root span: opens at ``breakdown.started`` and
+            # closes at ``breakdown.completed``, so the Fig. 14 numbers can
+            # be reconstructed from the span tree alone.
+            cspan = obs.spans.open(
+                "fs.journal", host="initiator", journal=self.name,
+                stream=stream, batch=len(batch), txn=self._txn_counter,
+            )
 
         yield from core.run(TXN_ASSEMBLY_COST * len(batch))
 
         # Checkpoint when the journal area is nearly exhausted.
         if self._used >= int(self.area_blocks * 0.8):
-            yield from self._checkpoint()
+            yield from self._checkpoint(cspan)
 
         # Block reuse regresses to the classic synchronous FLUSH (§4.4.2/§4.7).
         if any(t.block_reuse for t in batch):
             flush_bio = Bio(op="write", lba=self.area_start, nblocks=1,
                             stream_id=stream,
-                            flags=WriteFlags(flush=True))
+                            flags=WriteFlags(flush=True),
+                            obs_parent=cspan, obs_role="reuse_flush")
             done = yield from self.stack.submit_ordered(
                 core, flush_bio, end_of_group=True, flush=True
             )
@@ -187,7 +198,8 @@ class Journal:
             for lba, nblocks, payload, ipu in txn.data_extents:
                 bio = Bio(op="write", lba=lba, nblocks=nblocks,
                           payload=payload, stream_id=stream,
-                          flags=WriteFlags(ipu=ipu))
+                          flags=WriteFlags(ipu=ipu),
+                          obs_parent=cspan, obs_role="data")
                 last_data = bio
                 data_bios.append(bio)
         for index, bio in enumerate(data_bios):
@@ -204,7 +216,8 @@ class Journal:
             ("JM", lba, payload) for lba, payload in metadata
         ]
         jm_bio = Bio(op="write", lba=journal_lba, nblocks=jd_jm_blocks,
-                     payload=jd_payload, stream_id=stream)
+                     payload=jd_payload, stream_id=stream,
+                     obs_parent=cspan, obs_role="jm")
         done = yield from self.stack.submit_ordered(
             core, jm_bio, end_of_group=True, kick=False,
         )
@@ -212,7 +225,8 @@ class Journal:
 
         # ---- final group: the commit record, flushed for durability ----
         jc_bio = Bio(op="write", lba=journal_lba + jd_jm_blocks, nblocks=1,
-                     payload=[("JC", self._txn_counter)], stream_id=stream)
+                     payload=[("JC", self._txn_counter)], stream_id=stream,
+                     obs_parent=cspan, obs_role="jc")
         jc_done = yield from self.stack.submit_ordered(
             core, jc_bio, end_of_group=True, flush=True, kick=True,
         )
@@ -231,12 +245,15 @@ class Journal:
         breakdown.jc_dispatched = jc_bio.dispatched_at or started
         self.breakdowns.append(breakdown)
         self.commits += 1
+        if cspan is not None:
+            obs.spans.close(cspan)
+            obs.metrics.inc("journal.commits")
 
         for txn in batch:
             if not txn.done.triggered:
                 txn.done.succeed()
 
-    def _checkpoint(self):
+    def _checkpoint(self, parent=None):
         """Write journaled metadata to its home locations and recycle the
         journal area.
 
@@ -250,12 +267,14 @@ class Journal:
         completions = []
         for lba, payload in dirty.items():
             bio = Bio(op="write", lba=lba, nblocks=1, payload=[payload],
-                      stream_id=self.stream_id)
+                      stream_id=self.stream_id,
+                      obs_parent=parent, obs_role="checkpoint")
             done = yield from self.stack.block_layer.submit_bio(self.core, bio)
             completions.append(done)
         if completions:
             yield self.env.all_of(completions)
-        flush_bio = Bio(op="flush", stream_id=self.stream_id)
+        flush_bio = Bio(op="flush", stream_id=self.stream_id,
+                        obs_parent=parent, obs_role="checkpoint_flush")
         done = yield from self.stack.block_layer.submit_bio(
             self.core, flush_bio
         )

@@ -79,6 +79,16 @@ class CpuSet:
         self.env = env
         self.name = name
         self.cores: List[Core] = [Core(env, i) for i in range(ncores)]
+        obs = env.obs
+        if obs is not None:
+            for core in self.cores:
+                obs.metrics.register_gauge(
+                    f"cpu.{name}.core{core.index}.busy_s",
+                    lambda t=core.tracker: t.busy_time,
+                )
+            obs.metrics.register_gauge(
+                f"cpu.{name}.busy_s", self.busy_time
+            )
 
     def __len__(self) -> int:
         return len(self.cores)

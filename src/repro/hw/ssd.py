@@ -155,6 +155,9 @@ class DiskIO:
     payload: Optional[List[Any]] = None
     fua: bool = False
     barrier: bool = False
+    #: Parent span (the target's ``target.admit``) for the ``ssd.service``
+    #: span; None unless an Observability is attached.
+    obs_parent: Any = None
 
     def __post_init__(self):
         if self.op not in ("write", "read", "flush"):
@@ -204,6 +207,15 @@ class NvmeSsd:
         self._epoch = 0
         self.commands_served = 0
         self.flushes_served = 0
+        obs = env.obs
+        if obs is not None:
+            m = obs.metrics
+            m.register_gauge(f"ssd.{name}.commands_served",
+                             lambda: self.commands_served)
+            m.register_gauge(f"ssd.{name}.flushes_served",
+                             lambda: self.flushes_served)
+            m.register_gauge(f"ssd.{name}.dirty_bytes",
+                             lambda: self._cache_bytes)
         self._init_volatile()
 
     # ------------------------------------------------------------------
@@ -298,6 +310,14 @@ class NvmeSsd:
     # ------------------------------------------------------------------
 
     def _serve(self, io: DiskIO, done: Event, epoch: int):
+        obs = self.env.obs
+        span = None
+        if obs is not None:
+            span = obs.spans.open(
+                "ssd.service", parent=io.obs_parent,
+                host=self.name.split("-")[0], dev=self.name,
+                op=io.op, lba=io.lba, n=io.nblocks,
+            )
         try:
             if io.op == "flush":
                 yield from self._serve_flush(epoch)
@@ -308,11 +328,17 @@ class NvmeSsd:
         except CrashedError:
             # In-flight during a power failure: on real hardware nobody
             # ever sees this completion — the event silently never fires.
+            if span is not None:
+                obs.spans.close(span, crashed=1)
             return
         if epoch != self._epoch:
+            if span is not None:
+                obs.spans.close(span, lost=1)
             return  # crashed while in flight: never complete
         self.commands_served += 1
         self.env.trace("ssd", io.op, dev=self.name, lba=io.lba, n=io.nblocks)
+        if span is not None:
+            obs.spans.close(span)
         done.succeed(io)
 
     def _check_epoch(self, epoch: int) -> None:

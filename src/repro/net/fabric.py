@@ -223,6 +223,10 @@ class QueuePair:
             yield from receiver.nic.occupy_rx(message.nbytes)
             if epoch != sender.epoch:
                 continue
+            obs = self.env.obs
+            if obs is not None:
+                obs.metrics.inc("fabric.messages_delivered")
+                obs.metrics.inc("fabric.bytes_delivered", message.nbytes)
             receiver.deliver(message)
 
     def one_sided_transfer(self, requester: QpEndpoint, nbytes: int):

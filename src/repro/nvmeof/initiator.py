@@ -93,6 +93,8 @@ class _PendingCommand:
     nbytes: int
     attempts: int = 0
     liveness_token: Optional[int] = None
+    #: ``fabric.transfer`` span (observability attached only).
+    span: Any = None
 
 
 @dataclass
@@ -174,6 +176,18 @@ class InitiatorDriver:
         self.commands_resubmitted = 0
         self._registered_endpoints: set = set()
         self._last_irq: Dict[int, float] = {}
+        obs = env.obs
+        if obs is not None:
+            m = obs.metrics
+            m.register_gauge("driver.pending_commands", self.pending_count)
+            m.register_gauge("driver.pending_rpcs", self.pending_rpc_count)
+            m.register_gauge("driver.commands_sent", lambda: self.commands_sent)
+            m.register_gauge("driver.retries", lambda: self.retries)
+            m.register_gauge("driver.commands_timed_out",
+                             lambda: self.commands_timed_out)
+            m.register_gauge("driver.reconnects", lambda: self.reconnects)
+            m.register_gauge("driver.commands_resubmitted",
+                             lambda: self.commands_resubmitted)
 
     # ------------------------------------------------------------------
     # Connection plumbing
@@ -213,11 +227,22 @@ class InitiatorDriver:
                 return  # duplicate/stale response (retry, replay)
             self._unwatch(entry)
             done, cmd = entry.done, entry.cmd
+            obs = self.env.obs
+            cspan = None
+            if obs is not None and entry.span is not None:
+                cspan = obs.spans.open(
+                    "completion", parent=entry.span, host="initiator",
+                    cid=cmd.cid, core=core.index,
+                )
             yield from core.run(self.costs.completion_interrupt)
             if read_payload is not None:
                 cmd.payload = read_payload
             if response.status and entry.request is not None:
                 entry.request.status = response.status
+            if obs is not None and entry.span is not None:
+                obs.spans.close(cspan, status=response.status)
+                obs.spans.close(entry.span, status=response.status,
+                                attempts=entry.attempts)
             if not done.triggered:
                 done.succeed(cmd)
         elif message.kind == "rpc_resp":
@@ -245,10 +270,26 @@ class InitiatorDriver:
         completion :class:`Event` (value: the command).  Callers wait with
         ``done = yield from driver.submit(...)`` then ``yield done``.
         """
+        obs = self.env.obs
+        fspan = None
+        if obs is not None:
+            fspan = obs.spans.open(
+                "fabric.transfer",
+                parent=request.bios[0].obs_span if request.bios else None,
+                host="initiator", op=request.op, target=ns.target.name,
+                stream=request.stream_id,
+                bios=tuple(b.bio_id for b in request.bios),
+            )
+            if request.obs is None:
+                request.obs = {}
+            request.obs["fabric"] = fspan
         yield from core.run(self.costs.command_build_and_post)
         cmd = self.command_from_request(request, ns)
         done = Event(self.env)
         endpoint = ns.endpoint_for(request.qp_index)
+        if fspan is not None:
+            fspan.attrs["cid"] = cmd.cid
+            fspan.attrs["qp"] = endpoint.qp.index
         nbytes = NvmeCommand.WIRE_SIZE
         if endpoint.qp.transport == "tcp":
             # NVMe/TCP: data travels inline through the socket — the host
@@ -262,7 +303,7 @@ class InitiatorDriver:
             nbytes += cmd.nbytes if cmd.opcode == OP_WRITE else 0
         entry = _PendingCommand(
             done=done, cmd=cmd, ns=ns, request=request,
-            endpoint=endpoint, nbytes=nbytes,
+            endpoint=endpoint, nbytes=nbytes, span=fspan,
         )
         self._pending[cmd.cid] = entry
         self.commands_sent += 1
@@ -366,6 +407,11 @@ class InitiatorDriver:
                 self.commands_timed_out += 1
                 if entry.request is not None:
                     entry.request.status = STATUS_TIMEOUT
+                if entry.span is not None:
+                    obs = self.env.obs
+                    if obs is not None:
+                        obs.spans.close(entry.span, status=STATUS_TIMEOUT,
+                                        aborted=1, attempts=entry.attempts)
                 self.env.trace(
                     "driver", "command_abort", cid=entry.cmd.cid,
                     attempts=entry.attempts, cause="retry budget exhausted",

@@ -64,6 +64,10 @@ class TargetContext:
         #: skips the SSD entirely and acknowledges immediately, keeping
         #: retried ordered writes idempotent.
         self.duplicate = False
+        #: ``target.admit`` span for the command being handled (set by the
+        #: target server only when an Observability is attached); policies
+        #: and SSD submissions parent their spans under it.
+        self.obs_span: Any = None
 
     @property
     def env(self) -> Environment:
@@ -263,6 +267,17 @@ class TargetServer:
                 return
         ctx = TargetContext(self, endpoint, core, completion_core)
         yield from core.run(self._irq_cost(core))
+        obs = self.env.obs
+        if obs is not None and message.kind == "nvme_cmd":
+            cmd = message.payload
+            req = cmd.context
+            parent = None
+            if req is not None and getattr(req, "obs", None):
+                parent = req.obs.get("fabric")
+            ctx.obs_span = obs.spans.open(
+                "target.admit", parent=parent, host=self.name,
+                cid=cmd.cid, qp=endpoint.qp.index,
+            )
         try:
             if message.kind == "nvme_cmd":
                 yield from self._handle_command(ctx, message.payload)
@@ -273,6 +288,14 @@ class TargetServer:
             # The server lost power while this command was in flight: on
             # real hardware nothing more happens — no response is sent.
             return
+        finally:
+            if ctx.obs_span is not None and obs is not None:
+                extra = {}
+                if ctx.duplicate:
+                    extra["duplicate"] = 1
+                if self.crashed:
+                    extra["crashed"] = 1
+                obs.spans.close(ctx.obs_span, **extra)
 
     def _irq_cost(self, core: Core) -> float:
         """Interrupt entry cost, amortized under coalescing (Lesson 3)."""
@@ -345,11 +368,12 @@ class TargetServer:
             )
         else:
             io = DiskIO(op="read", lba=cmd.slba, nblocks=cmd.nblocks)
+        io.obs_parent = ctx.obs_span
         yield ssd.submit(io)
         yield from ctx.completion_core.run(self.costs.nvme_completion)
 
         if cmd.flush_after:
-            yield ssd.submit(DiskIO(op="flush"))
+            yield ssd.submit(DiskIO(op="flush", obs_parent=ctx.obs_span))
             yield from ctx.completion_core.run(self.costs.nvme_completion)
         if self.crashed:
             return

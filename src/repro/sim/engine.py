@@ -293,6 +293,12 @@ class Environment:
         #: Optional :class:`repro.sim.trace.Tracer`; instrumented
         #: components emit via :meth:`trace` when one is attached.
         self.tracer = None
+        #: Optional :class:`repro.sim.obs.Observability`; when attached
+        #: (``Observability(env)``) components record lifecycle spans and
+        #: publish metrics.  None (the default) keeps every instrumentation
+        #: site a single attribute check — behavior is bit-identical to an
+        #: uninstrumented run.
+        self.obs = None
 
     def trace(self, category: str, event: str, **fields) -> None:
         """Emit a trace event if a tracer is attached (cheap otherwise)."""

@@ -1,0 +1,55 @@
+"""Request-lifecycle observability: spans, metrics, exporters.
+
+Attach an :class:`Observability` to an environment **before** building the
+cluster/stack and every bio/command grows a lifecycle span tree::
+
+    fs.journal
+    └── block.mq                (one per bio)
+        ├── initiator.queue     (one per request fragment; ends at dispatch)
+        └── fabric.transfer     (one per NVMe-oF command)
+            ├── target.admit    (target-side processing incl. gate stalls)
+            │   └── ssd.service (one per DiskIO actually submitted)
+            └── completion      (initiator completion-interrupt path)
+
+while components publish counters/gauges/histograms into the attached
+:class:`~repro.sim.obs.metrics.MetricsRegistry`.  Usage::
+
+    env = Environment()
+    obs = Observability(env)            # attaches as env.obs
+    cluster = Cluster(env, ...)         # components register gauges
+    ... run a workload ...
+    obs.spans.by_name("ssd.service")    # query the span forest
+    obs.metrics.snapshot()              # point-in-time metrics view
+
+With no observability attached (``env.obs is None``, the default) every
+instrumentation site is a single attribute check: no events, no RNG, no
+allocation — simulation behavior is bit-identical to the uninstrumented
+engine (the zero-overhead equivalence suite enforces this).
+
+Exporters live in :mod:`repro.sim.obs.export` (Chrome ``trace_event``
+JSON, CSV/JSON metrics) and are wired into ``python -m repro trace`` /
+``python -m repro metrics``.
+"""
+
+from __future__ import annotations
+
+from repro.sim.obs.metrics import Histogram, MetricsRegistry
+from repro.sim.obs.spans import Span, SpanRecorder
+
+__all__ = ["Observability", "Span", "SpanRecorder", "Histogram",
+           "MetricsRegistry"]
+
+
+class Observability:
+    """Span recorder + metrics registry for one environment."""
+
+    def __init__(self, env, capacity: int = 500_000, attach: bool = True):
+        self.env = env
+        self.metrics = MetricsRegistry(env)
+        self.spans = SpanRecorder(env, capacity=capacity, metrics=self.metrics)
+        if attach:
+            env.obs = self
+
+    def detach(self) -> None:
+        if getattr(self.env, "obs", None) is self:
+            self.env.obs = None

@@ -1,0 +1,150 @@
+"""Span analysis: per-bio phase telescoping and the Fig. 14 breakdown.
+
+Two consumers:
+
+* :func:`bio_phase_breakdown` decomposes one ``block.mq`` span into
+  telescoping phases (stage → queue → post → wire → fan-in) whose sum is
+  *exactly* the bio's end-to-end latency — the differential test's 1e-9s
+  invariant;
+* :func:`fig14_commit_rows` / :func:`fig14_averages` reconstruct the
+  Figure 14 fsync latency breakdown purely from spans, replacing the
+  hand-maintained :class:`~repro.fs.journal.CommitBreakdown` accumulators
+  as the source of truth for the harness cross-check.
+
+The reconstruction leans on two exact alignments in the instrumentation:
+an ``initiator.queue`` span closes at the moment
+:meth:`~repro.block.mq.BlockLayer.dispatch` stamps ``bio.dispatched_at``,
+and an ``fs.journal`` span opens/closes at the commit worker's
+``CommitBreakdown.started``/``completed`` stamps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.sim.obs.spans import Span, SpanRecorder
+
+__all__ = [
+    "dispatch_times",
+    "bio_phase_breakdown",
+    "fig14_commit_rows",
+    "fig14_averages",
+]
+
+
+def dispatch_times(recorder: SpanRecorder) -> Dict[int, float]:
+    """bio_id -> first dispatch time, from dispatched ``initiator.queue``
+    spans (merged-away staging spans are skipped: their close marks the
+    merge, not a dispatch)."""
+    out: Dict[int, float] = {}
+    for span in recorder.by_name("initiator.queue"):
+        if not span.closed or not span.attrs.get("dispatched"):
+            continue
+        for bio_id in span.attrs.get("bios", ()):
+            current = out.get(bio_id)
+            if current is None or span.end < current:
+                out[bio_id] = span.end
+    return out
+
+
+def _covering(recorder: SpanRecorder, name: str, bio_id: int) -> List[Span]:
+    return [
+        span
+        for span in recorder.by_name(name)
+        if span.closed and bio_id in span.attrs.get("bios", ())
+    ]
+
+
+def bio_phase_breakdown(recorder: SpanRecorder, bio_span: Span
+                        ) -> Optional[Dict[str, float]]:
+    """Telescoping phase decomposition of one ``block.mq`` span.
+
+    Returns None for bios that split or error-completed (several covering
+    requests make the linear decomposition ambiguous).  For the common
+    single-request case the phases are consecutive intervals::
+
+        stage   submit      -> queue-span open   (split/stage CPU)
+        queue   queue open  -> dispatch          (plug / ORDER-queue wait)
+        post    dispatch    -> fabric-span open  (driver handoff)
+        wire    fabric open -> fabric close      (command round trip)
+        fanin   fabric close-> bio completion    (completion fan-out)
+
+    and sum to ``bio_span.duration`` exactly (up to float addition).
+    """
+    if not bio_span.closed:
+        return None
+    bio_id = bio_span.attrs.get("bio")
+    queue = [
+        s for s in _covering(recorder, "initiator.queue", bio_id)
+        if s.attrs.get("dispatched")
+    ]
+    fabric = _covering(recorder, "fabric.transfer", bio_id)
+    if len(queue) != 1 or len(fabric) != 1:
+        return None
+    q, f = queue[0], fabric[0]
+    covered = q.attrs.get("bios", ())
+    if covered and covered[0] != bio_id:
+        # The bio was merged into an earlier request: its covering queue
+        # span opened before this bio existed (it belongs to the
+        # survivor's lead bio), so the stage/queue attribution is
+        # ambiguous here too.
+        return None
+    return {
+        "stage": q.start - bio_span.start,
+        "queue": q.end - q.start,
+        "post": f.start - q.end,
+        "wire": f.end - f.start,
+        "fanin": bio_span.end - f.end,
+    }
+
+
+def fig14_commit_rows(recorder: SpanRecorder) -> List[Dict[str, float]]:
+    """Per-commit timestamps reconstructed from the span forest.
+
+    Each ``fs.journal`` span yields one row with the same semantics as
+    :class:`~repro.fs.journal.CommitBreakdown`: ``data_dispatched`` is the
+    latest first-dispatch among the commit's data bios (``started`` when
+    there are none), ``jm``/``jc`` are those bios' first dispatches.
+    """
+    dispatched = dispatch_times(recorder)
+    rows: List[Dict[str, float]] = []
+    for commit in recorder.by_name("fs.journal"):
+        if not commit.closed:
+            continue
+        roles: Dict[str, List[int]] = {}
+        for child in recorder.children_of(commit):
+            role = child.attrs.get("role")
+            if role:
+                roles.setdefault(role, []).append(child.attrs.get("bio"))
+        started = commit.start
+
+        def first_dispatch(bio_id: Any) -> float:
+            return dispatched.get(bio_id, started)
+
+        data = [first_dispatch(b) for b in roles.get("data", ())]
+        jm = roles.get("jm", ())
+        jc = roles.get("jc", ())
+        rows.append({
+            "started": started,
+            "data_dispatched": max(data, default=started),
+            "jm_dispatched": first_dispatch(jm[0]) if jm else started,
+            "jc_dispatched": first_dispatch(jc[0]) if jc else started,
+            "completed": commit.end,
+        })
+    return rows
+
+
+def fig14_averages(recorder: SpanRecorder) -> Dict[str, float]:
+    """Figure 14's four columns (microseconds), averaged over commits."""
+    rows = fig14_commit_rows(recorder)
+    count = max(1, len(rows))
+    return {
+        "d_dispatch_us": sum(
+            r["data_dispatched"] - r["started"] for r in rows) / count * 1e6,
+        "jm_dispatch_us": sum(
+            r["jm_dispatched"] - r["started"] for r in rows) / count * 1e6,
+        "jc_dispatch_us": sum(
+            r["jc_dispatched"] - r["started"] for r in rows) / count * 1e6,
+        "total_us": sum(
+            r["completed"] - r["started"] for r in rows) / count * 1e6,
+    }

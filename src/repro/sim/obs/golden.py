@@ -1,0 +1,66 @@
+"""Canonical span serialization and golden-trace digests.
+
+A golden trace is the sha256 over a canonical one-line-per-span rendering
+of the recorder.  The digest is stable across pytest orderings and Python
+versions because:
+
+* spans are serialized in creation (sid) order, with parent references by
+  sid — both are per-recorder, starting at 1;
+* floats use ``repr`` (shortest round-trip form, stable since CPython 3.1);
+* attributes are sorted by key, and *process-global* identifiers (bio ids,
+  request ids, command ids — module-level counters whose values depend on
+  what ran earlier in the process) are excluded by default.
+
+What remains — span names, tree shape, virtual timestamps, LBAs, streams,
+queue pairs, devices, roles — pins down the full request lifecycle: any
+reordering, added/removed hop, or timing change in a fixed-seed run
+changes the digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, FrozenSet, Iterable, List
+
+from repro.sim.obs.spans import SpanRecorder
+
+__all__ = ["VOLATILE_ATTRS", "canonical_lines", "span_digest"]
+
+#: Attribute keys backed by process-global counters (excluded by default).
+VOLATILE_ATTRS: FrozenSet[str] = frozenset(
+    {"bio", "bios", "req", "cid", "merged_into"}
+)
+
+
+def _canon(value: Any) -> str:
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        return "(" + ",".join(_canon(v) for v in value) + ")"
+    return repr(value)
+
+
+def canonical_lines(recorder: SpanRecorder,
+                    exclude: Iterable[str] = VOLATILE_ATTRS) -> List[str]:
+    """One deterministic line per span, in creation order."""
+    excluded = frozenset(exclude)
+    lines = []
+    for span in recorder.spans:
+        attrs = " ".join(
+            f"{key}={_canon(value)}"
+            for key, value in sorted(span.attrs.items())
+            if key not in excluded
+        )
+        end = repr(span.end) if span.closed else "open"
+        lines.append(
+            f"{span.sid} {span.name} p={span.parent_sid} "
+            f"s={span.start!r} e={end} {attrs}".rstrip()
+        )
+    return lines
+
+
+def span_digest(recorder: SpanRecorder,
+                exclude: Iterable[str] = VOLATILE_ATTRS) -> str:
+    """sha256 hex digest of the canonical rendering."""
+    payload = "\n".join(canonical_lines(recorder, exclude))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -1,0 +1,156 @@
+"""Metrics registry: counters, gauges and log-bucketed histograms.
+
+Three metric kinds, mirroring the usual time-series vocabulary:
+
+* **counters** — monotonically accumulated values (``inc``): messages
+  delivered, journal commits, fabric bytes;
+* **gauges** — instantaneous values.  Most gauges here are *provider*
+  gauges: components register a zero-argument callable at construction
+  time (``register_gauge``), so reading per-layer queue depth or per-CPU
+  busy time costs nothing on the hot path and is always current at
+  snapshot time;
+* **histograms** — log-bucketed distributions (``observe``): span
+  durations land here automatically via the
+  :class:`~repro.sim.obs.spans.SpanRecorder`.
+
+``snapshot()`` evaluates every provider at the current sim time and
+returns a plain-dict view suitable for export (CSV/JSON) or assertions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Union
+
+__all__ = ["Histogram", "MetricsRegistry"]
+
+
+def _default_bounds() -> List[float]:
+    # Quarter-decade geometric buckets from 1 ns to 100 s — wide enough
+    # for any virtual-time duration this simulation produces.
+    bounds = []
+    value = 1e-9
+    factor = 10 ** 0.25
+    while value < 100.0:
+        bounds.append(value)
+        value *= factor
+    return bounds
+
+
+class Histogram:
+    """A fixed-bucket log histogram with exact count/total/min/max."""
+
+    def __init__(self, bounds: Optional[List[float]] = None):
+        self.bounds = list(bounds) if bounds is not None else _default_bounds()
+        self.counts = [0] * (len(self.bounds) + 1)  # last = overflow
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:  # first bucket whose bound is >= value
+            mid = (lo + hi) // 2
+            if self.bounds[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.counts[lo] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile: the upper bound of the covering bucket."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("percentile q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0.0
+        for index, n in enumerate(self.counts):
+            seen += n
+            if seen >= rank and n:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.max if self.max is not None else 0.0
+        return self.max if self.max is not None else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "p50": self.percentile(0.50),
+            "p99": self.percentile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms for one environment.
+
+    Registration is idempotent by name (last registration wins), so
+    rebuilding a component on the same environment simply re-points the
+    gauge at the live instance.
+    """
+
+    def __init__(self, env):
+        self.env = env
+        self.counters: Dict[str, float] = {}
+        self._gauges: Dict[str, Union[float, Callable[[], float]]] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- counters ----------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0)
+
+    # -- gauges ------------------------------------------------------------
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = value
+
+    def register_gauge(self, name: str, provider: Callable[[], float]) -> None:
+        """Install a zero-argument callable evaluated at snapshot time."""
+        self._gauges[name] = provider
+
+    def gauge(self, name: str) -> float:
+        value = self._gauges.get(name, 0.0)
+        return value() if callable(value) else value
+
+    def gauge_names(self) -> List[str]:
+        return sorted(self._gauges)
+
+    # -- histograms --------------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    # -- snapshot ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Evaluate everything at the current sim time; plain-dict view."""
+        return {
+            "time": self.env.now,
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": {name: self.gauge(name) for name in self.gauge_names()},
+            "histograms": {
+                name: hist.summary()
+                for name, hist in sorted(self.histograms.items())
+            },
+        }

@@ -87,6 +87,14 @@ class Tracer:
         return out
 
     def render(self, limit: int = 100) -> str:
+        """First ``limit`` events, one line each, e.g.::
+
+                 12.40us  ssd          write              dev=ssd0 lba=8 n=1
+                 13.10us  rio.gate     admit              pos=0 stream=1
+
+        (microsecond timestamp, category, event, then sorted ``key=value``
+        fields), followed by truncation/drop summaries when applicable.
+        """
         lines = [str(e) for e in self.events[:limit]]
         if len(self.events) > limit:
             lines.append(f"... {len(self.events) - limit} more events")

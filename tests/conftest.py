@@ -1,0 +1,11 @@
+"""Shared fixtures/options for the tier-1 suite."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/* from the current code instead of "
+        "comparing against them (review the diff before committing!)",
+    )

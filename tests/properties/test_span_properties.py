@@ -1,0 +1,114 @@
+"""Property-based span-tree well-formedness.
+
+For any seed — and even under randomized transient-fault plans (message
+loss, corruption, delays, QP breakdowns, target stalls; no crashes) — the
+span forest an instrumented run leaves behind is structurally sound:
+
+* every closed span has ``end >= start``;
+* every parented span nests inside its parent (``child.start >=
+  parent.start``; when both are closed, ``child.end <= parent.end``) —
+  the recorder's late/escaped detach logic makes this hold by
+  construction, and these tests are what keep that logic honest;
+* every persisted ordered write is served by exactly one ``ssd.service``
+  span (the target's audit log is appended immediately before SSD
+  submission, so the two counts must agree even when retransmissions are
+  suppressed or commands are retried);
+* on *fault-free* runs additionally: all spans are closed at quiesce and
+  the ``late``/``escaped`` escape hatches were never needed — i.e. the
+  instrumentation points really do open and close in lifecycle order.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Cluster
+from repro.harness.chaos import CHAOS_HARDENING, build_fault_plan
+from repro.harness.experiment import LAYOUTS
+from repro.sim.engine import Environment
+from repro.sim.obs import Observability
+from repro.systems.base import make_stack
+
+THREADS = 4
+GROUPS = 6
+STREAM_AREA = 1 << 16
+
+
+def instrumented_ordered_run(seed: int, faults: bool):
+    """Run a small multi-threaded ordered-write workload on Rio with
+    observability attached; returns (env, obs, cluster, finished)."""
+    env = Environment()
+    obs = Observability(env)
+    cluster = Cluster(
+        env,
+        target_ssds=LAYOUTS["optane"],
+        initiator_cores=THREADS,
+        target_cores=4,
+        num_qps=THREADS,
+        seed=seed,
+        hardening=CHAOS_HARDENING if faults else None,
+    )
+    stack = make_stack("rio", cluster, num_streams=THREADS)
+    if faults:
+        plan = build_fault_plan(seed, num_qps=THREADS,
+                                num_targets=len(cluster.targets))
+        plan.install(cluster)
+
+    def worker(thread_id):
+        core = cluster.initiator.cpus.pick(thread_id)
+        base = thread_id * STREAM_AREA
+        for group in range(GROUPS):
+            done = yield from stack.write_ordered(
+                core,
+                thread_id,
+                lba=base + group * 2,
+                nblocks=1,
+                end_of_group=True,
+                flush=(group % 3 == 0),
+            )
+            yield done
+
+    procs = [env.process(worker(t)) for t in range(THREADS)]
+    finished = env.run_until_event(env.all_of(procs), limit=80e-3)
+    return env, obs, cluster, finished
+
+
+def assert_forest_well_formed(obs):
+    for span in obs.spans.spans:
+        if span.closed:
+            assert span.end >= span.start, span
+        parent = span.parent
+        if parent is not None:
+            assert span.start >= parent.start, (span, parent)
+            if span.closed and parent.closed:
+                assert span.end <= parent.end, (span, parent)
+
+
+def assert_one_service_span_per_persisted_write(obs, cluster):
+    served_writes = sum(
+        1
+        for span in obs.spans.by_name("ssd.service")
+        if span.attrs.get("op") == "write"
+    )
+    audited = sum(len(target.audit_log) for target in cluster.targets)
+    assert served_writes == audited, (served_writes, audited)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=8, deadline=None)
+def test_span_forest_well_formed_fault_free(seed):
+    env, obs, cluster, finished = instrumented_ordered_run(seed, faults=False)
+    assert finished, "fault-free run must complete within the limit"
+    assert_forest_well_formed(obs)
+    assert_one_service_span_per_persisted_write(obs, cluster)
+    # Quiesced run: no span left open, no detach escape hatch taken.
+    assert obs.spans.open_spans() == []
+    for span in obs.spans.spans:
+        assert "late" not in span.attrs, span
+        assert "escaped" not in span.attrs, span
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=8, deadline=None)
+def test_span_forest_well_formed_under_faults(seed):
+    env, obs, cluster, finished = instrumented_ordered_run(seed, faults=True)
+    assert_forest_well_formed(obs)
+    assert_one_service_span_per_persisted_write(obs, cluster)

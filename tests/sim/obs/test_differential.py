@@ -1,0 +1,71 @@
+"""Differential tests: spans vs. the harness's own accounting.
+
+Two independent descriptions of the same run must agree:
+
+* per-bio phase telescoping — the stage/queue/post/wire/fan-in intervals
+  reconstructed from a bio's child spans sum to the bio's end-to-end
+  ``block.mq`` duration within 1e-9 s;
+* Figure 14 — the fsync latency breakdown reconstructed *purely from
+  spans* (:func:`repro.harness.obs.fig14_breakdown_from_spans`) matches
+  the journal's hand-maintained ``CommitBreakdown`` accumulators
+  (:func:`repro.harness.figures.fig14_latency_breakdown`) within 1% on
+  every cell, for all three file systems.
+"""
+
+import math
+
+import pytest
+
+from repro.harness.figures import fig14_latency_breakdown
+from repro.harness.obs import fig14_breakdown_from_spans, traced_fsync_run
+from repro.sim.obs.analysis import bio_phase_breakdown
+
+KINDS = ("ext4", "horaefs", "riofs")
+ITERATIONS = 8
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_phase_sums_telescope_to_e2e_latency(kind):
+    run = traced_fsync_run(kind, iterations=ITERATIONS)
+    rec = run.obs.spans
+    checked = 0
+    for bio_span in rec.by_name("block.mq"):
+        phases = bio_phase_breakdown(rec, bio_span)
+        if phases is None:  # split or multiply-covered bio
+            continue
+        assert all(value >= -1e-12 for value in phases.values()), phases
+        assert math.isclose(sum(phases.values()), bio_span.duration,
+                            abs_tol=1e-9), (bio_span, phases)
+        checked += 1
+    # The probe is single-device sequential appends: the single-request
+    # decomposition must apply to nearly every bio.
+    assert checked >= ITERATIONS
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_run_quiesces_cleanly(kind):
+    """After the probe drains, every span is closed and no span ever
+    needed the late/escaped detach escape hatch (fault-free run)."""
+    run = traced_fsync_run(kind, iterations=ITERATIONS)
+    rec = run.obs.spans
+    assert len(rec) > 0 and rec.dropped == 0
+    assert rec.open_spans() == []
+    for span in rec.spans:
+        assert "late" not in span.attrs, span
+        assert "escaped" not in span.attrs, span
+
+
+def test_fig14_from_spans_matches_harness():
+    reference = {row["fs"]: row
+                 for row in fig14_latency_breakdown(iterations=ITERATIONS).rows}
+    reconstructed = {
+        row["fs"]: row
+        for row in fig14_breakdown_from_spans(iterations=ITERATIONS).rows
+    }
+    assert set(reconstructed) == set(reference) == set(KINDS)
+    for kind in KINDS:
+        for column in ("d_dispatch_us", "jm_dispatch_us", "jc_dispatch_us",
+                       "total_us"):
+            assert reconstructed[kind][column] == pytest.approx(
+                reference[kind][column], rel=0.01, abs=1e-9
+            ), (kind, column)

@@ -1,0 +1,63 @@
+"""Golden-trace regression tests.
+
+Each file system's fixed-seed fsync probe must produce exactly the span
+forest recorded in ``tests/goldens/spans_<fs>.json`` — names, tree shape,
+virtual timestamps and stable attributes.  Any change to request routing,
+merging, ordering or timing shows up as a readable line diff.
+
+To bless an intentional behavior change::
+
+    PYTHONPATH=src python -m pytest tests/sim/obs/test_golden_traces.py \\
+        --regen-goldens
+
+then review the golden diff before committing.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.harness.obs import traced_fsync_run
+from repro.sim.obs.golden import canonical_lines, span_digest
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parents[2] / "goldens"
+KINDS = ("ext4", "horaefs", "riofs")
+ITERATIONS = 4
+
+
+def golden_path(kind: str) -> pathlib.Path:
+    return GOLDEN_DIR / f"spans_{kind}.json"
+
+
+def run_canonical(kind: str):
+    run = traced_fsync_run(kind, iterations=ITERATIONS)
+    rec = run.obs.spans
+    assert rec.dropped == 0
+    return canonical_lines(rec), span_digest(rec)
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_golden_trace(kind, request):
+    lines, digest = run_canonical(kind)
+    path = golden_path(kind)
+    if request.config.getoption("--regen-goldens"):
+        path.write_text(json.dumps({"digest": digest, "spans": lines},
+                                   indent=1) + "\n")
+        return
+    assert path.exists(), (
+        f"missing golden {path}; run with --regen-goldens to create it"
+    )
+    golden = json.loads(path.read_text())
+    # Compare the lines first: on mismatch pytest renders the span-level
+    # diff, which is actionable in a way a digest mismatch is not.
+    assert lines == golden["spans"]
+    assert digest == golden["digest"]
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_probe_is_deterministic(kind):
+    """Two consecutive in-process runs yield identical canonical traces."""
+    first = run_canonical(kind)
+    second = run_canonical(kind)
+    assert first == second
