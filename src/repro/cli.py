@@ -6,12 +6,22 @@ Usage::
     python -m repro run fig10b
     python -m repro run fig13 --duration 0.01
     python -m repro run all
+    python -m repro sweep all --jobs 4
+    python -m repro sweep fig10b --jobs 2 --no-cache
+    python -m repro claims --jobs 4
     python -m repro trace --fs riofs --out rio.trace.json
     python -m repro metrics --fs riofs --format csv
 
 ``--duration`` is *virtual* seconds of measured window per configuration;
 the simulation is deterministic, so longer windows change results by
 little but take proportionally longer to run.
+
+``sweep`` is ``run`` on the parallel sweep runner: the figure's
+independent simulation cells fan out across ``--jobs`` worker processes,
+and (unless ``--no-cache``) results are memoized in an on-disk
+content-addressed cache (``results/.cache/`` by default, keyed by spec
+digest + code version) so repeated invocations only pay for what changed.
+See ``docs/running_experiments.md``.
 
 ``trace`` runs the instrumented fsync probe and exports the request
 lifecycle spans as a Chrome ``chrome://tracing`` / Perfetto JSON file;
@@ -103,11 +113,41 @@ def main(argv=None) -> int:
     )
     claims.add_argument("--duration", type=float, default=2.5e-3,
                         help="virtual seconds per configuration")
+    claims.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the figure sweeps")
+    claims.add_argument("--cache", action="store_true",
+                        help="memoize sweep cells in the on-disk cache")
+    claims.add_argument("--cache-dir", default=None,
+                        help="cache root (default: results/.cache)")
     run = sub.add_parser("run", help="run one figure (or 'all')")
     run.add_argument("figure", help="figure name from 'list', or 'all'")
     run.add_argument("--duration", type=float, default=None,
                      help="virtual seconds per configuration")
     run.add_argument("--format", choices=("table", "markdown"),
+                     default="table", help="output format")
+    swp = sub.add_parser(
+        "sweep",
+        help="run figures on the parallel sweep runner (workers + cache)",
+    )
+    swp.add_argument("figure", help="figure name from 'list', or 'all'")
+    swp.add_argument("--jobs", type=int, default=1,
+                     help="worker processes (runs are CPU-bound; match "
+                     "host cores)")
+    cache_group = swp.add_mutually_exclusive_group()
+    cache_group.add_argument("--cache", dest="cache", action="store_true",
+                             default=True,
+                             help="memoize results on disk (default)")
+    cache_group.add_argument("--no-cache", dest="cache",
+                             action="store_false",
+                             help="always recompute; touch no cache files")
+    swp.add_argument("--cache-dir", default=None,
+                     help="cache root (default: results/.cache, or "
+                     "$REPRO_CACHE_DIR)")
+    swp.add_argument("--clear-cache", action="store_true",
+                     help="drop this code version's cached results first")
+    swp.add_argument("--duration", type=float, default=None,
+                     help="virtual seconds per configuration")
+    swp.add_argument("--format", choices=("table", "markdown"),
                      default="table", help="output format")
     trace = sub.add_parser(
         "trace", help="export request-lifecycle spans as a Chrome trace"
@@ -179,10 +219,41 @@ def main(argv=None) -> int:
 
     if args.command == "claims":
         from repro.harness.claims import evaluate_claims
+        from repro.harness.cache import ResultCache
 
-        report = evaluate_claims(duration=args.duration)
+        cache = (ResultCache(root=args.cache_dir)
+                 if getattr(args, "cache", False) else None)
+        report = evaluate_claims(duration=args.duration,
+                                 jobs=args.jobs or None, cache=cache)
         print(report.render())
         return 0 if report.passed == report.total else 1
+
+    if args.command == "sweep":
+        from repro.harness import sweep as sweep_mod
+        from repro.harness.cache import ResultCache
+
+        cache = ResultCache(root=args.cache_dir) if args.cache else None
+        if cache is not None and args.clear_cache:
+            print(f"cleared {cache.clear()} cached result(s) "
+                  f"[{cache.root}/{cache.version}]")
+        runner = sweep_mod.configure(jobs=args.jobs, cache=cache)
+        names = list(FIGURES) if args.figure == "all" else [args.figure]
+        for name in names:
+            if name not in FIGURES:
+                print(f"unknown figure {name!r}; try 'python -m repro list'",
+                      file=sys.stderr)
+                return 2
+        for name in names:
+            _run_one(name, args.duration, args.format)
+        line = f"[sweep: {runner.stats.summary()}"
+        if cache is not None:
+            line += (f"; cache {cache.root}/{cache.version}: "
+                     f"{cache.hits} hit(s), {cache.corrupt_dropped} "
+                     f"corrupt dropped]")
+        else:
+            line += "; cache disabled]"
+        print(line)
+        return 0
 
     if args.figure == "all":
         for name in FIGURES:

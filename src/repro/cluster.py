@@ -6,7 +6,23 @@ target servers, each with 2×18-core Xeon Gold 5220 CPUs, connected by
 SSD, target 2 a PM981 and a P4800X; each target has a 2 MB PMR.
 
 :class:`Cluster` is the one-stop constructor used by the experiment
-harness, the examples and the integration tests.
+harness, the examples and the integration tests::
+
+    env = Environment()
+    cluster = Cluster(env, target_ssds=((FLASH_PM981, OPTANE_905P),))
+    layer = BlockLayer(env, cluster.driver, cluster.volume())
+    core = cluster.initiator.cpus.pick(0)
+
+``target_ssds`` is one inner sequence per target server; ``transport``
+selects ``"rdma"`` or ``"tcp"``; pass a
+:class:`~repro.nvmeof.initiator.DriverHardening` to arm timeouts/retries
+(the fault plane's recovery side).  Striped (multi-SSD) block access goes
+through :meth:`Cluster.volume`; :meth:`Cluster.namespaces_with_profile`
+picks out namespaces by device model.
+
+For where this testbed sits in the overall stack — and what the layers it
+wires together actually do — see ``docs/architecture.md``.  The
+multi-initiator variant of this assembly lives in :mod:`repro.multi`.
 """
 
 from __future__ import annotations

@@ -1,0 +1,165 @@
+"""On-disk content-addressed result cache for experiment sweeps.
+
+Every sweep cell (one :class:`~repro.harness.sweep.RunSpec`) is a pure
+function of its arguments *and of the simulator's source code*: the
+simulation is deterministic, so re-running an unchanged spec on unchanged
+code always reproduces the same numbers.  That makes results perfectly
+memoizable, and this module is the memo table:
+
+* entries live under ``results/.cache/<code-version>/<dd>/<digest>.pkl``
+  where ``<code-version>`` is a digest of every ``repro`` source file
+  (so *any* code change invalidates the whole cache — coarse, but it can
+  never serve a stale number) and ``<digest>`` is the spec's content hash;
+* writes are atomic (temp file + ``os.replace``), so a crashed or killed
+  sweep never leaves a half-written entry that a later run would trust;
+* reads that fail to unpickle — truncated file, hand-edited entry, a
+  pickle from an incompatible interpreter — are treated as misses: the
+  corrupt file is deleted and the spec recomputes.  A bad cache can cost
+  time, never correctness.
+
+The cache is opt-in (``repro sweep --cache`` or
+``SweepRunner(cache=ResultCache())``); the plain figure entry points never
+touch the disk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+__all__ = ["ResultCache", "code_version", "default_cache_dir"]
+
+#: Environment overrides (mostly for tests and CI):
+#: ``REPRO_CACHE_DIR`` relocates the cache root;
+#: ``REPRO_CACHE_VERSION`` pins the code-version key, bypassing the
+#: source-tree digest.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_CACHE_VERSION = "REPRO_CACHE_VERSION"
+
+_code_version_memo: Optional[str] = None
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``results/.cache`` under the working tree."""
+    override = os.environ.get(ENV_CACHE_DIR)
+    if override:
+        return Path(override)
+    return Path("results") / ".cache"
+
+
+def code_version() -> str:
+    """Digest of every ``repro`` source file (memoized per process).
+
+    Keying cache entries by this digest means a code change — any code
+    change, even one that could not affect the numbers — starts a fresh
+    cache namespace.  Stale directories from older versions are plain
+    directories under the cache root and can be deleted freely.
+    """
+    global _code_version_memo
+    override = os.environ.get(ENV_CACHE_VERSION)
+    if override:
+        return override
+    if _code_version_memo is None:
+        import repro
+
+        package_root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _code_version_memo = digest.hexdigest()[:16]
+    return _code_version_memo
+
+
+class ResultCache:
+    """Pickle-backed content-addressed store: digest -> result.
+
+    ``get``/``put`` never raise on I/O or serialization problems; the
+    worst outcome of any cache failure is a recompute.  ``hits``,
+    ``misses``, ``corrupt_dropped`` and ``put_failures`` count what
+    happened for reporting (``repro sweep`` prints them).
+    """
+
+    def __init__(self, root: Optional[Path] = None,
+                 version: Optional[str] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.version = version or code_version()
+        self.hits = 0
+        self.misses = 0
+        self.corrupt_dropped = 0
+        self.put_failures = 0
+
+    # ------------------------------------------------------------------
+
+    def path_for(self, digest: str) -> Path:
+        """Where the entry for ``digest`` lives (two-level fan-out)."""
+        return self.root / self.version / digest[:2] / f"{digest}.pkl"
+
+    def get(self, digest: str) -> Tuple[bool, Any]:
+        """``(True, value)`` on a hit, ``(False, None)`` otherwise."""
+        path = self.path_for(digest)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return False, None
+        except Exception:
+            # Truncated/garbled/incompatible entry: drop it and recompute.
+            self.corrupt_dropped += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, digest: str, value: Any) -> bool:
+        """Store ``value`` atomically; returns False if it could not be."""
+        path = self.path_for(digest)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            # Unpicklable result, read-only disk, ...: sweep still returns
+            # the computed value, it just will not be memoized.
+            self.put_failures += 1
+            return False
+        return True
+
+    def clear(self) -> int:
+        """Delete this version's entries; returns how many were removed."""
+        removed = 0
+        version_root = self.root / self.version
+        if not version_root.exists():
+            return 0
+        for entry in sorted(version_root.rglob("*.pkl")):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self) -> str:
+        return (f"ResultCache(root={str(self.root)!r}, "
+                f"version={self.version!r}, hits={self.hits}, "
+                f"misses={self.misses})")

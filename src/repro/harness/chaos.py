@@ -43,6 +43,7 @@ __all__ = [
     "ChaosResult",
     "build_fault_plan",
     "run_chaos_trial",
+    "chaos_suite_sweep",
     "run_chaos_suite",
     "measure_degradation",
 ]
@@ -317,13 +318,65 @@ def run_chaos_trial(
     return result
 
 
-def run_chaos_suite(
+def chaos_suite_sweep(
     systems: Tuple[str, ...] = ("rio", "horae", "linux"),
     trials: int = 30,
     base_seed: int = 1000,
     **trial_kwargs,
+):
+    """The chaos suite as a :class:`~repro.harness.sweep.Sweep`.
+
+    Each trial is one spec (seeded, independent, returning a picklable
+    :class:`ChaosResult`), so the suite fans out across worker processes
+    and memoizes like the figure sweeps.  Raises ``TypeError`` if
+    ``trial_kwargs`` contains something spec-encodable kwargs can't carry
+    (e.g. a pre-built :class:`~repro.sim.faults.FaultPlan`) — use
+    :func:`run_chaos_suite`, which falls back to the inline loop.
+    """
+    from repro.harness.sweep import RunSpec, Sweep
+
+    specs = [
+        RunSpec.make(
+            run_chaos_trial,
+            label=f"chaos/{system}/seed{base_seed + i}",
+            system=system,
+            seed=base_seed + i,
+            **trial_kwargs,
+        )
+        for system in systems
+        for i in range(trials)
+    ]
+    return Sweep(name="chaos-suite", specs=specs)
+
+
+def run_chaos_suite(
+    systems: Tuple[str, ...] = ("rio", "horae", "linux"),
+    trials: int = 30,
+    base_seed: int = 1000,
+    jobs: Optional[int] = None,
+    cache=None,
+    **trial_kwargs,
 ) -> List[ChaosResult]:
-    """``trials`` seeded trials per system; returns every result."""
+    """``trials`` seeded trials per system; returns every result.
+
+    ``jobs``/``cache`` route the trials through a
+    :class:`~repro.harness.sweep.SweepRunner` (parallel workers and/or the
+    on-disk result cache).  Left at None the suite runs inline — and it
+    always does when ``trial_kwargs`` carries objects a spec can't encode,
+    such as an explicit ``plan``.
+    """
+    if jobs is not None or cache is not None:
+        from repro.harness.sweep import SweepRunner
+
+        try:
+            sweep = chaos_suite_sweep(
+                systems=systems, trials=trials, base_seed=base_seed,
+                **trial_kwargs,
+            )
+        except TypeError:
+            pass  # unencodable kwargs: fall through to the inline loop
+        else:
+            return SweepRunner(jobs=jobs or 1, cache=cache).map(sweep.specs)
     results: List[ChaosResult] = []
     for system in systems:
         for i in range(trials):

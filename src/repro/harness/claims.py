@@ -4,16 +4,25 @@
 every headline claim of the paper against them, producing a reproduction
 scorecard (``python -m repro claims``).  The benchmark suite asserts the
 same relations figure-by-figure; this module is the one-page summary.
+
+The underlying figure experiments are sweeps (see
+:mod:`repro.harness.sweep`), so the scorecard parallelizes and memoizes
+like any other sweep: ``evaluate_claims(jobs=4)`` fans the independent
+simulation cells across four worker processes, and passing a
+:class:`~repro.harness.cache.ResultCache` reuses any cell a previous
+figure/claims run already computed (``python -m repro claims --jobs 4``).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.harness import figures
 from repro.harness import extensions
+from repro.harness.cache import ResultCache
+from repro.harness.sweep import configured
 
 __all__ = ["Claim", "ClaimReport", "evaluate_claims"]
 
@@ -50,8 +59,21 @@ class ClaimReport:
         return "\n".join(lines)
 
 
-def evaluate_claims(duration: float = 2.5e-3) -> ClaimReport:
-    """Run the compact experiment set and grade every headline claim."""
+def evaluate_claims(
+    duration: float = 2.5e-3,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> ClaimReport:
+    """Run the compact experiment set and grade every headline claim.
+
+    With ``jobs``/``cache`` left at None the figure sweeps run on the
+    process-wide default runner (so a caller who already called
+    :func:`repro.harness.sweep.configure` keeps their settings); passing
+    either overrides the runner for the duration of this evaluation.
+    """
+    if jobs is not None or cache is not None:
+        with configured(jobs=jobs or 1, cache=cache):
+            return evaluate_claims(duration=duration)
     report = ClaimReport()
 
     def add(section, statement, passed, measured):

@@ -17,7 +17,26 @@ recovery logic already key by global stream id.
 
 Each initiator gets its own NIC, driver, connections and
 :class:`~repro.core.api.RioDevice`; the target servers, SSDs and PMRs are
-shared.
+shared::
+
+    env = Environment()
+    mc = MultiInitiatorCluster(env, num_initiators=2,
+                               target_ssds=((OPTANE_905P,),),
+                               streams_per_initiator=4)
+    node = mc.nodes[0]            # InitiatorNode: .rio, .driver, .cpus
+    core = node.cpus.pick(0)
+    ev = yield from node.rio.write(core, stream_id=0, lba=0, nblocks=1,
+                                   end_of_group=True)
+
+Stream ids passed to each node's :class:`~repro.core.api.RioDevice` are
+*local* (0..streams_per_initiator-1); the node translates them to its
+directory-assigned global range before they reach the wire, so two nodes
+using "stream 0" never collide on the shared targets.
+
+This is the single-initiator :class:`repro.cluster.Cluster` generalized;
+see ``docs/architecture.md`` for the assembly diagram and
+``tests/core/test_multi_initiator.py`` for the isolation/recovery
+guarantees this module is held to.
 """
 
 from __future__ import annotations

@@ -18,11 +18,36 @@ Events may *succeed* (carrying a value) or *fail* (carrying an exception,
 which is re-raised inside every waiting process).  A :class:`Process` is
 itself an event that fires when the generator returns, so processes can wait
 on each other.
+
+Performance notes
+-----------------
+
+This module is the host-side hot path of every experiment: a figure sweep
+processes tens of millions of events, each of which allocates an
+:class:`Event` (or :class:`Timeout`), pushes and pops a heap entry and runs
+a callback.  The implementation therefore trades a little uniformity for
+speed:
+
+* every event class declares ``__slots__`` (no per-instance dict; faster
+  attribute access and much less allocator pressure).  The ``bio`` and
+  ``_blocked_item`` slots exist so higher layers (the ordered stacks and
+  :mod:`repro.sim.resources`) can annotate events without re-introducing a
+  ``__dict__``;
+* :class:`Timeout` bypasses ``Event.__init__``/``succeed`` and schedules
+  itself with one direct ``heappush`` — it is the single most-allocated
+  object in the simulator;
+* :meth:`Environment.run` inlines the pop-advance-dispatch loop (what
+  :meth:`Environment.step` does once) with the heap and ``heappop`` bound
+  to locals, and only swaps an event's callback list when it is non-empty.
+
+The observable semantics are identical to the straightforward
+implementation; ``tests/sim/test_engine.py`` and the serial-vs-parallel
+bit-identity test in ``tests/harness/test_sweep.py`` pin that down.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from itertools import count
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
@@ -75,6 +100,17 @@ _PROCESSED = 2  # callbacks have run
 class Event:
     """A one-shot occurrence in virtual time that processes can wait on."""
 
+    __slots__ = (
+        "env",
+        "callbacks",
+        "_state",
+        "_ok",
+        "_value",
+        # Annotation slots for higher layers (see module docstring).
+        "bio",
+        "_blocked_item",
+    )
+
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: List[Callable[["Event"], None]] = []
@@ -113,7 +149,8 @@ class Event:
         self._ok = True
         self._value = value
         self._state = _TRIGGERED
-        self.env._schedule(self)
+        env = self.env
+        heappush(env._heap, (env._now, next(env._eid), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -125,31 +162,43 @@ class Event:
         self._ok = False
         self._value = exception
         self._state = _TRIGGERED
-        self.env._schedule(self)
+        env = self.env
+        heappush(env._heap, (env._now, next(env._eid), self))
         return self
 
     def _run_callbacks(self) -> None:
         self._state = _PROCESSED
-        callbacks, self.callbacks = self.callbacks, []
-        for callback in callbacks:
-            callback(self)
+        callbacks = self.callbacks
+        if callbacks:
+            self.callbacks = []
+            for callback in callbacks:
+                callback(self)
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} at {id(self):#x} state={self._state}>"
 
 
 class Timeout(Event):
-    """An event that fires after a fixed virtual-time delay."""
+    """An event that fires after a fixed virtual-time delay.
+
+    Timeouts are born triggered: the constructor writes the five event
+    fields directly and pushes one heap entry, skipping the generic
+    ``__init__``/``succeed`` path (this is the hottest allocation site in
+    the whole simulator).
+    """
+
+    __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = delay
+        self.env = env
+        self.callbacks = []
+        self._state = _TRIGGERED
         self._ok = True
         self._value = value
-        self._state = _TRIGGERED
-        env._schedule(self, delay)
+        self.delay = delay
+        heappush(env._heap, (env._now + delay, next(env._eid), self))
 
 
 class Condition(Event):
@@ -158,6 +207,8 @@ class Condition(Event):
     Used for :meth:`Environment.all_of` and :meth:`Environment.any_of`.
     The condition value is a dict mapping each fired event to its value.
     """
+
+    __slots__ = ("_events", "_evaluate", "_fired")
 
     def __init__(
         self,
@@ -173,21 +224,21 @@ class Condition(Event):
             self.succeed({})
             return
         for event in self._events:
-            if event.processed:
+            if event._state == _PROCESSED:
                 self._on_event(event)
             else:
                 event.callbacks.append(self._on_event)
 
     def _on_event(self, event: Event) -> None:
-        if self.triggered:
+        if self._state != _PENDING:
             return
-        if not event.ok:
-            self.fail(event.value)
+        if not event._ok:
+            self.fail(event._value)
             return
         self._fired += 1
         if self._evaluate(self._fired, len(self._events)):
             self.succeed(
-                {ev: ev.value for ev in self._events if ev.processed or ev.triggered}
+                {ev: ev._value for ev in self._events if ev._state != _PENDING}
             )
 
 
@@ -201,6 +252,8 @@ def _any_fired(fired: int, total: int) -> bool:
 
 class Process(Event):
     """A running generator; also an event that fires when it returns."""
+
+    __slots__ = ("_generator", "_waiting_on")
 
     def __init__(self, env: "Environment", generator: Generator):
         super().__init__(env)
@@ -220,7 +273,7 @@ class Process(Event):
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
-        if not self.is_alive:
+        if self._state != _PENDING:
             raise SimulationError("cannot interrupt a finished process")
         if self._waiting_on is not None:
             try:
@@ -238,15 +291,16 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         self._waiting_on = None
-        if event.ok:
-            self._step(send=event.value)
+        if event._ok:
+            self._step(send=event._value)
         else:
-            self._step(throw=event.value)
+            self._step(throw=event._value)
 
     def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
-        if not self.is_alive:
+        if self._state != _PENDING:
             return
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
         try:
             if throw is not None:
                 target = self._generator.throw(throw)
@@ -260,15 +314,15 @@ class Process(Event):
             self.succeed(None)
             return
         finally:
-            self.env._active_process = None
+            env._active_process = None
         if not isinstance(target, Event):
             self._generator.throw(
                 TypeError(f"process yielded a non-event: {target!r}")
             )
             return
-        if target.processed:
+        if target._state == _PROCESSED:
             # Already fired and callbacks ran: resume immediately (same time).
-            immediate = Event(self.env)
+            immediate = Event(env)
             immediate.callbacks.append(
                 lambda _ev: self._resume(target)
             )
@@ -368,7 +422,7 @@ class Environment:
     # -- scheduling ----------------------------------------------------------
 
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(self._heap, (self._now + delay, next(self._eid), event))
+        heappush(self._heap, (self._now + delay, next(self._eid), event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
@@ -376,28 +430,54 @@ class Environment:
 
     def step(self) -> None:
         """Process the single next event."""
-        if not self._heap:
+        heap = self._heap
+        if not heap:
             raise SimulationError("no more events to step")
-        when, _eid, event = heapq.heappop(self._heap)
+        when, _eid, event = heappop(heap)
         self._now = when
-        event._run_callbacks()
+        event._state = _PROCESSED
+        callbacks = event.callbacks
+        if callbacks:
+            event.callbacks = []
+            for callback in callbacks:
+                callback(event)
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the heap drains or virtual time reaches ``until``.
 
         When ``until`` is given the clock is advanced exactly to it even if
         the last event fires earlier, so throughput windows are exact.
+
+        Both loops inline :meth:`step` (pop, advance the clock, run the
+        event's callbacks) with the heap bound to a local — this is the
+        innermost host-side loop of every experiment.
         """
+        heap = self._heap
+        pop = heappop
         if until is None:
-            while self._heap:
-                self.step()
+            while heap:
+                when, _eid, event = pop(heap)
+                self._now = when
+                event._state = _PROCESSED
+                callbacks = event.callbacks
+                if callbacks:
+                    event.callbacks = []
+                    for callback in callbacks:
+                        callback(event)
             self._raise_if_deadlocked()
             return
         if until < self._now:
             raise ValueError(f"until={until} is in the past (now={self._now})")
-        while self._heap and self._heap[0][0] <= until:
-            self.step()
-        if not self._heap:
+        while heap and heap[0][0] <= until:
+            when, _eid, event = pop(heap)
+            self._now = when
+            event._state = _PROCESSED
+            callbacks = event.callbacks
+            if callbacks:
+                event.callbacks = []
+                for callback in callbacks:
+                    callback(event)
+        if not heap:
             # Nothing can ever fire again: a watched waiter is stuck.
             self._raise_if_deadlocked()
         self._now = until

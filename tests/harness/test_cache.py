@@ -1,0 +1,165 @@
+"""The on-disk result cache: hit/miss, versioning, corruption recovery.
+
+The contract under test: a cache can cost recompute time but can never
+cost correctness — version bumps start a fresh namespace, corrupt entries
+are dropped and recomputed, and a failed write never poisons an entry.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.harness import cache as cache_mod
+from repro.harness.cache import ResultCache, code_version, default_cache_dir
+from repro.harness.sweep import RunSpec, SweepRunner
+
+
+def noisy(x):
+    """Top-level cell whose call count the cache tests observe via files."""
+    return {"x": x}
+
+
+# ----------------------------------------------------------------------
+# Basic hit/miss
+# ----------------------------------------------------------------------
+
+
+def test_miss_then_hit(tmp_path):
+    cache = ResultCache(root=tmp_path, version="v1")
+    hit, value = cache.get("ab" * 32)
+    assert not hit and value is None
+    assert cache.put("ab" * 32, {"kiops": 123.5})
+    hit, value = cache.get("ab" * 32)
+    assert hit and value == {"kiops": 123.5}
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_hit_requires_exact_digest(tmp_path):
+    cache = ResultCache(root=tmp_path, version="v1")
+    spec_a = RunSpec.make(noisy, x=1)
+    spec_b = RunSpec.make(noisy, x=2)
+    cache.put(spec_a.digest(), "a-result")
+    hit, _ = cache.get(spec_b.digest())
+    assert not hit, "a changed spec must miss"
+    hit, value = cache.get(spec_a.digest())
+    assert hit and value == "a-result"
+
+
+def test_cached_none_is_still_a_hit(tmp_path):
+    cache = ResultCache(root=tmp_path, version="v1")
+    cache.put("cd" * 32, None)
+    hit, value = cache.get("cd" * 32)
+    assert hit and value is None
+
+
+# ----------------------------------------------------------------------
+# Code-version invalidation
+# ----------------------------------------------------------------------
+
+
+def test_version_bump_invalidates_everything(tmp_path):
+    digest = "ef" * 32
+    old = ResultCache(root=tmp_path, version="v1")
+    old.put(digest, 42)
+    new = ResultCache(root=tmp_path, version="v2")
+    hit, _ = new.get(digest)
+    assert not hit, "a code-version bump must start a fresh namespace"
+    # ... while the old namespace stays intact (roll back the code,
+    # get the cache back).
+    hit, value = ResultCache(root=tmp_path, version="v1").get(digest)
+    assert hit and value == 42
+
+
+def test_code_version_env_override(monkeypatch):
+    monkeypatch.setenv(cache_mod.ENV_CACHE_VERSION, "pinned-for-test")
+    assert code_version() == "pinned-for-test"
+
+
+def test_code_version_is_memoized_and_hexish(monkeypatch):
+    monkeypatch.delenv(cache_mod.ENV_CACHE_VERSION, raising=False)
+    first = code_version()
+    assert first == code_version()
+    assert len(first) == 16
+    int(first, 16)  # raises if not hex
+
+
+def test_default_cache_dir_env_override(monkeypatch, tmp_path):
+    monkeypatch.setenv(cache_mod.ENV_CACHE_DIR, str(tmp_path / "elsewhere"))
+    assert default_cache_dir() == tmp_path / "elsewhere"
+
+
+# ----------------------------------------------------------------------
+# Corruption recovery
+# ----------------------------------------------------------------------
+
+
+def test_corrupt_entry_is_dropped_and_recomputed(tmp_path):
+    cache = ResultCache(root=tmp_path, version="v1")
+    spec = RunSpec.make(noisy, x=5)
+    digest = spec.digest()
+    cache.put(digest, {"x": 5})
+    # Simulate a torn write / disk corruption.
+    cache.path_for(digest).write_bytes(b"\x80\x04 this is not a pickle")
+
+    runner = SweepRunner(jobs=1, cache=cache)
+    results = runner.map([spec])
+    assert results == [{"x": 5}], "corrupt entry must fall back to recompute"
+    assert cache.corrupt_dropped == 1
+    # The recompute repaired the entry in place:
+    hit, value = cache.get(digest)
+    assert hit and value == {"x": 5}
+
+
+def test_truncated_entry_is_a_miss(tmp_path):
+    cache = ResultCache(root=tmp_path, version="v1")
+    cache.put("09" * 32, list(range(100)))
+    path = cache.path_for("09" * 32)
+    path.write_bytes(path.read_bytes()[:7])
+    hit, _ = cache.get("09" * 32)
+    assert not hit
+    assert not path.exists(), "the truncated file must be deleted"
+
+
+def test_unpicklable_value_fails_put_softly(tmp_path):
+    cache = ResultCache(root=tmp_path, version="v1")
+    assert not cache.put("77" * 32, lambda: None)
+    assert cache.put_failures == 1
+    hit, _ = cache.get("77" * 32)
+    assert not hit
+
+
+def test_put_is_atomic_no_tmp_litter(tmp_path):
+    cache = ResultCache(root=tmp_path, version="v1")
+    for i in range(5):
+        cache.put(f"{i:02d}" * 32, i)
+    leftovers = [p for p in tmp_path.rglob("*.tmp")]
+    assert leftovers == []
+
+
+def test_clear_removes_only_this_version(tmp_path):
+    v1 = ResultCache(root=tmp_path, version="v1")
+    v2 = ResultCache(root=tmp_path, version="v2")
+    v1.put("aa" * 32, 1)
+    v2.put("aa" * 32, 2)
+    assert v1.clear() == 1
+    assert v1.get("aa" * 32) == (False, None)
+    assert v2.get("aa" * 32) == (True, 2)
+
+
+def test_entries_survive_a_pickle_roundtrip_of_figure_results(tmp_path):
+    """FigureResult (the reduce output) and probe dicts both cache fine."""
+    from repro.harness.experiment import FigureResult
+
+    cache = ResultCache(root=tmp_path, version="v1")
+    fig = FigureResult(name="t", description="d", headers=["a"])
+    fig.add(a=1.5)
+    cache.put("bb" * 32, fig)
+    hit, value = cache.get("bb" * 32)
+    assert hit and value.rows == fig.rows
+
+
+def test_stats_repr_mentions_root_and_counts(tmp_path):
+    cache = ResultCache(root=tmp_path, version="v1")
+    cache.get("00" * 32)
+    assert "misses=1" in repr(cache)

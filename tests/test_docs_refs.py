@@ -1,0 +1,166 @@
+"""Link-check the documentation against the tree.
+
+Docs rot silently: a renamed class or moved file leaves `docs/*.md`
+pointing at nothing.  This test walks every markdown doc (plus README.md)
+and verifies three kinds of reference against the actual repository:
+
+* **path anchors** — backticked ``path/to/file.py`` / ``file.md``
+  references exist; ``file.py:Symbol`` anchors additionally name a
+  class/def/constant that is really defined in that file, and
+  ``file.py::test_name`` pytest anchors name a real test;
+* **dotted names** — ``repro.module.attr`` chains import and resolve;
+* **relative links** — ``[text](other.md#anchor)`` targets exist, and the
+  ``#anchor`` matches a real heading.
+
+CI runs this as the docs job; if it fails, either the docs or the code
+moved without the other.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")]
+)
+
+# `path/to/file.py`, optionally with `:Symbol[.attr]` or `::test_name`.
+PATH_REF = re.compile(
+    r"`(?P<path>[\w.-]+(?:/[\w.-]+)*\.(?:py|md))"
+    r"(?:::(?P<test>[A-Za-z_]\w*)|:(?P<symbol>[A-Za-z_][\w.]*))?`"
+)
+
+# `repro.module[.attr...]` dotted references.
+DOTTED_REF = re.compile(r"`(?P<dotted>repro\.[A-Za-z_][\w.]*)`")
+
+# [text](relative/target.md#anchor) links (external schemes skipped).
+MD_LINK = re.compile(r"\[[^\]]+\]\((?P<target>[^)\s]+)\)")
+
+
+def _doc_ids():
+    return [str(p.relative_to(REPO_ROOT)) for p in DOC_FILES]
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style heading slug (close enough for our own docs)."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*]", "", slug)
+    slug = re.sub(r"[^\w\s-]", "", slug)
+    return re.sub(r"[\s]+", "-", slug).strip("-")
+
+
+def _symbol_defined(text: str, symbol: str) -> bool:
+    """Is ``symbol`` (possibly dotted) plausibly defined in ``text``?
+
+    The head must be a real definition (class/def/module constant); any
+    trailing attribute parts need only appear as words (methods,
+    dataclass fields and properties all qualify).
+    """
+    head, *rest = symbol.split(".")
+    head_defined = re.search(
+        rf"(?m)^(?:class|def)\s+{re.escape(head)}\b|^{re.escape(head)}\s*[:=]",
+        text,
+    )
+    if not head_defined:
+        return False
+    return all(re.search(rf"\b{re.escape(part)}\b", text) for part in rest)
+
+
+def _resolve_dotted(dotted: str) -> bool:
+    """Import the longest module prefix, then walk attributes."""
+    parts = dotted.split(".")
+    for cut in range(len(parts), 0, -1):
+        module_name = ".".join(parts[:cut])
+        try:
+            obj = importlib.import_module(module_name)
+        except ImportError:
+            continue
+        try:
+            for attr in parts[cut:]:
+                obj = getattr(obj, attr)
+        except AttributeError:
+            return False
+        return True
+    return False
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_ids())
+def test_path_references_exist(doc):
+    text = doc.read_text()
+    problems = []
+    for match in PATH_REF.finditer(text):
+        rel = match.group("path")
+        target = REPO_ROOT / rel
+        if not target.exists():
+            problems.append(f"{rel}: file does not exist")
+            continue
+        symbol = match.group("symbol")
+        if symbol and not _symbol_defined(target.read_text(), symbol):
+            problems.append(f"{rel}:{symbol}: symbol not defined there")
+        test_name = match.group("test")
+        if test_name and not re.search(
+            rf"(?m)^def {re.escape(test_name)}\b", target.read_text()
+        ):
+            problems.append(f"{rel}::{test_name}: no such test")
+    assert not problems, (
+        f"{doc.relative_to(REPO_ROOT)} has stale path references:\n  "
+        + "\n  ".join(problems)
+    )
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_ids())
+def test_dotted_references_resolve(doc):
+    text = doc.read_text()
+    problems = []
+    for match in DOTTED_REF.finditer(text):
+        dotted = match.group("dotted").rstrip(".")
+        if not _resolve_dotted(dotted):
+            problems.append(dotted)
+    assert not problems, (
+        f"{doc.relative_to(REPO_ROOT)} has unresolvable dotted names:\n  "
+        + "\n  ".join(problems)
+    )
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_ids())
+def test_relative_links_and_anchors(doc):
+    text = doc.read_text()
+    problems = []
+    for match in MD_LINK.finditer(text):
+        target = match.group("target")
+        if re.match(r"^[a-z]+://|^mailto:", target):
+            continue  # external
+        path_part, _, fragment = target.partition("#")
+        if not path_part:
+            dest = doc  # pure in-page anchor
+        else:
+            dest = (doc.parent / path_part).resolve()
+            if not dest.exists():
+                problems.append(f"{target}: target missing")
+                continue
+        if fragment and dest.suffix == ".md":
+            headings = re.findall(r"(?m)^#{1,6}\s+(..*)$", dest.read_text())
+            slugs = {_slugify(h) for h in headings}
+            if fragment not in slugs:
+                problems.append(
+                    f"{target}: no heading slugs to '{fragment}' "
+                    f"(have: {', '.join(sorted(slugs))})"
+                )
+    assert not problems, (
+        f"{doc.relative_to(REPO_ROOT)} has broken links:\n  "
+        + "\n  ".join(problems)
+    )
+
+
+def test_docs_exist_at_all():
+    """The documented doc set is present (guards against deletion)."""
+    expected = {"architecture.md", "running_experiments.md",
+                "paper_to_code_map.md"}
+    have = {p.name for p in (REPO_ROOT / "docs").glob("*.md")}
+    assert expected <= have, f"missing docs: {expected - have}"
