@@ -34,6 +34,12 @@ def assert_trial_ok(result):
     assert result.submission_order_violations == [], result.summary()
     assert result.errors == [], result.summary()
     assert result.leak_error == "", result.leak_error
+    # Completed watchdog arms must disarm their expiry timers: a trial
+    # used to end with dozens of stale armed timeouts still on the heap.
+    assert result.heap_live_entries <= 4, (
+        f"{result.system} seed={result.seed}: "
+        f"{result.heap_live_entries} live heap entries leaked"
+    )
     # Every trial met the chaos floor.
     assert result.fault_counts.get("qp_breakdown", 0) >= 1, result.summary()
     assert result.fault_counts.get("target_stall", 0) >= 1, result.summary()

@@ -1,0 +1,144 @@
+"""Crash-point enumeration: snapshot durable state at persistence events.
+
+One *recording run* executes the workload with ``on_persist`` hooks armed
+on every SSD and PMR.  Each hook firing marks a moment at which the
+durable world changed — exactly the moments at which a power cut can
+produce a distinct crash image — and captures the full durable state of
+the cluster (SSD media + PMR records).  Snapshots are deduplicated per
+virtual timestamp (keeping the *last* capture at each instant, i.e. the
+state after all same-time mutations) and optionally down-sampled by a
+seeded RNG for cheap smoke runs.
+
+Replaying a crash point means restoring a snapshot into a *fresh*
+deterministic testbed — the same spec and seed produce identical component
+names — and running the system's recovery path there, which models a full
+power cycle: all volatile state (caches, queues, sequencer windows, gate
+positions) is reborn empty while durable state carries over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.check.workload import (
+    Completion,
+    WorkloadSpec,
+    build_plan,
+    build_testbed,
+    start_workload,
+)
+from repro.sim.rng import DeterministicRNG
+
+__all__ = [
+    "ClusterState",
+    "RecordedRun",
+    "capture_cluster",
+    "restore_cluster",
+    "record_run",
+    "select_crash_points",
+]
+
+#: Virtual-time budget for one recording run (far beyond any spec we run).
+RUN_LIMIT = 2.0
+
+
+@dataclass
+class ClusterState:
+    """Everything that survives a power cut, captured at one instant."""
+
+    time: float
+    ssd: Dict[str, dict] = field(default_factory=dict)
+    pmr: Dict[str, dict] = field(default_factory=dict)
+
+
+def capture_cluster(cluster, when: float) -> ClusterState:
+    return ClusterState(
+        time=when,
+        ssd={
+            ssd.name: ssd.capture_durable_state()
+            for target in cluster.targets
+            for ssd in target.ssds
+        },
+        pmr={target.name: target.pmr.capture_state()
+             for target in cluster.targets},
+    )
+
+
+def restore_cluster(cluster, state: ClusterState) -> None:
+    """Load a snapshot into a fresh cluster (matched by component name)."""
+    ssds = {ssd.name: ssd for target in cluster.targets for ssd in target.ssds}
+    for name, ssd_state in state.ssd.items():
+        ssds[name].restore_durable_state(ssd_state)
+    for target in cluster.targets:
+        if target.name in state.pmr:
+            target.pmr.restore_state(state.pmr[target.name])
+
+
+@dataclass
+class RecordedRun:
+    """The recording run's output: snapshots + what the app observed."""
+
+    spec: WorkloadSpec
+    snapshots: List[ClusterState]
+    completions: List[Completion]
+    final: ClusterState
+    elapsed: float
+
+
+def record_run(spec: WorkloadSpec) -> RecordedRun:
+    """Run the workload once, snapshotting at every persistence event."""
+    env, cluster, stack = build_testbed(spec)
+    plan = build_plan(spec)
+    snapshots: List[ClusterState] = []
+
+    def snap(_device) -> None:
+        snapshots.append(capture_cluster(cluster, env.now))
+
+    for target in cluster.targets:
+        target.pmr.on_persist = snap
+        for ssd in target.ssds:
+            ssd.on_persist = snap
+
+    completions: List[Completion] = []
+    all_done = start_workload(env, cluster, stack, spec, plan, completions)
+    env.run_until_event(all_done, limit=RUN_LIMIT)
+    # Quiesce: let trailing persistence (lazy cache drains, persist-bit
+    # toggles, recycling) settle so the final snapshot is the steady state.
+    env.run(until=env.now + 2e-3)
+
+    for target in cluster.targets:
+        target.pmr.on_persist = None
+        for ssd in target.ssds:
+            ssd.on_persist = None
+
+    return RecordedRun(
+        spec=spec,
+        snapshots=snapshots,
+        completions=completions,
+        final=capture_cluster(cluster, env.now),
+        elapsed=env.now,
+    )
+
+
+def select_crash_points(run: RecordedRun) -> List[ClusterState]:
+    """Deduplicated (and optionally sampled) crash points, oldest first.
+
+    Several persistence events can share a virtual timestamp (e.g. a
+    drain-loop batch apply followed by a persist-bit toggle); only the
+    final state at each instant is a reachable crash image, because the
+    simulator treats same-time mutations as one atomic step.
+    """
+    by_time: Dict[float, ClusterState] = {}
+    for state in run.snapshots:  # chronological: later capture wins per t
+        by_time[state.time] = state
+    points = [by_time[t] for t in sorted(by_time)]
+    limit = run.spec.max_points
+    if limit and len(points) > limit:
+        # Seeded down-sample that always keeps the first and last point.
+        rng = DeterministicRNG(run.spec.seed).fork("check-sample")
+        interior = list(range(1, len(points) - 1))
+        rng.shuffle(interior)
+        kept = sorted([0, len(points) - 1] + interior[: max(0, limit - 2)])
+        points = [points[i] for i in kept]
+    return points

@@ -1,0 +1,196 @@
+"""The order oracle: validate recovered state against declared order.
+
+All functions here are pure — they look only at the per-block survival map
+extracted from a recovered testbed, the workload plan and the set of
+completions acknowledged before the crash — so the property-based tests
+can drive them with synthetic states directly.
+
+Per-system contracts (what "order-preserving" promises after a crash):
+
+* **rio / horae** — recovery rolls back to a group/epoch prefix: per
+  stream, survivors must be exactly groups ``1..k`` for some ``k``, each
+  fully intact (a torn group or a survivor with a lost predecessor is a
+  violation).
+* **linux** — the synchronous chain orders groups and the per-group FLUSH
+  makes completion imply durability, but there is no rollback: the one
+  in-flight group at the crash may be torn.  Pattern: ``full* partial?
+  none*``.
+* **barrier** — ordering is per *write*, not per group: the single FIFO
+  lane persists blocks in submission order, so the survivor set must be a
+  prefix of the stream's block sequence (later blocks never survive
+  earlier ones).
+* **all systems** — an acknowledged fsync (flush-group completion that
+  fired strictly before the crash) must survive recovery fully intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.check.workload import Completion, GroupPlan
+
+__all__ = [
+    "GroupSurvival",
+    "Violation",
+    "group_status",
+    "extract_survival",
+    "acked_groups",
+    "check_order_invariants",
+]
+
+#: Survival map: (stream, group index) -> per-write lists of per-block
+#: durability flags, in plan order.
+GroupSurvival = Dict[Tuple[int, int], List[List[bool]]]
+
+ROLLBACK_SYSTEMS = ("rio", "rio-nomerge", "horae")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken ordering invariant at one crash point."""
+
+    kind: str  # "torn-group" | "order-hole" | "barrier-reorder" | "lost-fsync"
+    stream: int
+    group: int
+    detail: str
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "stream": self.stream,
+            "group": self.group,
+            "detail": self.detail,
+        }
+
+    def __str__(self) -> str:
+        return (f"{self.kind}: stream {self.stream} group {self.group} "
+                f"({self.detail})")
+
+
+def group_status(blocks: List[List[bool]]) -> str:
+    """"full" | "none" | "partial" for one group's survival flags."""
+    flat = [flag for write in blocks for flag in write]
+    if all(flat):
+        return "full"
+    if not any(flat):
+        return "none"
+    return "partial"
+
+
+def extract_survival(stack, plan: List[GroupPlan]) -> GroupSurvival:
+    """Read recovered media: which planned blocks hold their tokens?
+
+    Resolves each planned volume LBA through the stack's logical volume to
+    the backing SSD and compares the durable payload against the unique
+    token the plan assigned to that block.
+    """
+    volume = stack.volume
+    survival: GroupSurvival = {}
+    for group in plan:
+        writes: List[List[bool]] = []
+        for write in group.writes:
+            flags: List[bool] = []
+            for offset, token in enumerate(write.tokens):
+                ns, local = volume.locate(write.lba + offset)
+                ssd = ns.target.ssds[ns.nsid]
+                flags.append(ssd.durable_payload(local) == token)
+            writes.append(flags)
+        survival[(group.stream, group.index)] = writes
+    return survival
+
+
+def acked_groups(completions: Iterable[Completion],
+                 crash_time: float) -> Set[Tuple[int, int]]:
+    """Completions the application observed strictly before the crash."""
+    return {
+        (c.stream, c.group) for c in completions if c.time < crash_time
+    }
+
+
+def check_order_invariants(
+    system: str,
+    plan: List[GroupPlan],
+    survival: GroupSurvival,
+    acked: Set[Tuple[int, int]],
+) -> List[Violation]:
+    """All ordering-invariant violations of one recovered state."""
+    violations: List[Violation] = []
+    per_stream: Dict[int, List[GroupPlan]] = {}
+    for group in plan:
+        per_stream.setdefault(group.stream, []).append(group)
+
+    for stream, groups in sorted(per_stream.items()):
+        groups = sorted(groups, key=lambda g: g.index)
+        statuses = [
+            (g, group_status(survival[(g.stream, g.index)])) for g in groups
+        ]
+
+        if system in ROLLBACK_SYSTEMS:
+            # Exact prefix of intact groups: full* none*.
+            seen_gap = False
+            for group, status in statuses:
+                if status == "partial":
+                    violations.append(Violation(
+                        "torn-group", stream, group.index,
+                        "rollback recovery exposed a partially-durable group",
+                    ))
+                if status == "none":
+                    seen_gap = True
+                elif seen_gap:
+                    violations.append(Violation(
+                        "order-hole", stream, group.index,
+                        "group survived although an earlier group was lost",
+                    ))
+        elif system == "linux":
+            # full* partial? none*: one torn in-flight group allowed, and
+            # nothing may survive past the first non-full group.
+            seen_nonfull = False
+            seen_partial = False
+            for group, status in statuses:
+                if status == "partial":
+                    if seen_partial or seen_nonfull:
+                        violations.append(Violation(
+                            "order-hole", stream, group.index,
+                            "second torn/late group on a synchronous chain",
+                        ))
+                    seen_partial = True
+                    seen_nonfull = True
+                elif status == "none":
+                    seen_nonfull = True
+                elif seen_nonfull:  # full after a gap
+                    violations.append(Violation(
+                        "order-hole", stream, group.index,
+                        "group survived although an earlier group was lost",
+                    ))
+        elif system == "barrier":
+            # Block-granularity prefix: survival flags, flattened in
+            # submission order, must be monotonically non-increasing.
+            seen_gap = False
+            for group, _status in statuses:
+                for write_flags in survival[(group.stream, group.index)]:
+                    for flag in write_flags:
+                        if not flag:
+                            seen_gap = True
+                        elif seen_gap:
+                            violations.append(Violation(
+                                "barrier-reorder", stream, group.index,
+                                "block persisted ahead of an earlier barrier"
+                                " write",
+                            ))
+                            seen_gap = True  # report once per gap run
+                            break
+                    else:
+                        continue
+                    break
+        else:
+            raise ValueError(f"no oracle contract for system {system!r}")
+
+        # Universal: acknowledged fsyncs are durable.
+        for group, status in statuses:
+            if group.flush and (stream, group.index) in acked and status != "full":
+                violations.append(Violation(
+                    "lost-fsync", stream, group.index,
+                    f"acknowledged fsync group recovered {status}",
+                ))
+    return violations

@@ -1,0 +1,160 @@
+"""Matrix driver behind ``repro check``: fan specs out, shrink failures.
+
+The check matrix is a sweep like any figure: every (system, layout, seed,
+shape) cell is an independent simulation, so it runs on the same
+:class:`~repro.harness.sweep.SweepRunner` — ``--jobs N`` fans cells across
+worker processes and ``--cache`` memoizes green cells in the on-disk
+result cache, so a re-run after a code change only pays for what the
+digest says changed.
+
+``DEFAULT_MATRIX`` maps each system to the layouts its ordering contract
+is checked on.  ``linux`` is deliberately limited to single-device
+layouts: the baseline stack attaches its FLUSH to the final bio of a
+group, whose fragments reach only the devices that bio strides, so on a
+multi-device volume an acknowledged fsync genuinely does not cover every
+member (real md/LVM fans FLUSH out to all members; modeling that would
+add a command per group and shift the Lesson-1 flash figures).  The
+limitation is documented in ``docs/architecture.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.check.differential import check_cell, shrink_spec, dump_reproducer
+from repro.check.workload import WorkloadSpec
+from repro.harness.sweep import RunSpec, SweepRunner
+
+__all__ = [
+    "DEFAULT_MATRIX",
+    "DEFAULT_SEEDS",
+    "MatrixResult",
+    "build_matrix_specs",
+    "run_check_matrix",
+]
+
+#: system -> layouts whose ordering contract the system must uphold.
+DEFAULT_MATRIX: Dict[str, Tuple[str, ...]] = {
+    "rio": ("flash", "optane", "4ssd-1target", "2optane-2targets"),
+    "horae": ("flash", "optane", "2optane-2targets"),
+    "linux": ("flash", "optane"),
+    "barrier": ("flash", "optane"),
+}
+
+DEFAULT_SEEDS: Tuple[int, ...] = (0, 1, 2)
+
+
+@dataclass
+class MatrixResult:
+    """Everything one ``repro check`` invocation found."""
+
+    #: (spec, report-dict) per cell, in matrix order.
+    cells: List[Tuple[WorkloadSpec, dict]] = field(default_factory=list)
+    #: Minimal reproducers of the failing cells (shrunk when requested).
+    reproducers: List[WorkloadSpec] = field(default_factory=list)
+    #: Paths of dumped reproducer files.
+    dumped: List[str] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[Tuple[WorkloadSpec, dict]]:
+        return [(spec, report) for spec, report in self.cells
+                if not report["ok"]]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        lines = []
+        per_system: Dict[str, List[Tuple[WorkloadSpec, dict]]] = {}
+        for spec, report in self.cells:
+            per_system.setdefault(spec.system, []).append((spec, report))
+        for system, cells in per_system.items():
+            points = sum(report["crash_points"] for _s, report in cells)
+            bad = [c for c in cells if not c[1]["ok"]]
+            status = "OK" if not bad else f"{len(bad)} FAILING"
+            lines.append(
+                f"{system:8s} {len(cells):3d} cell(s), "
+                f"{points:5d} crash point(s): {status}"
+            )
+        for spec, report in self.failures:
+            lines.append(f"  FAIL {spec.to_json()}")
+            for failure in report["failures"][:2]:
+                for violation in failure["violations"][:2]:
+                    lines.append(
+                        f"       {violation['kind']}: stream "
+                        f"{violation['stream']} group {violation['group']}"
+                    )
+        total_points = sum(r["crash_points"] for _s, r in self.cells)
+        verdict = "all ordering invariants hold" if self.ok else "VIOLATIONS"
+        lines.append(
+            f"checked {len(self.cells)} cell(s), {total_points} crash "
+            f"point(s): {verdict}"
+        )
+        return "\n".join(lines)
+
+
+def build_matrix_specs(
+    systems: Optional[Sequence[str]] = None,
+    layouts: Optional[Sequence[str]] = None,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    **shape,
+) -> List[WorkloadSpec]:
+    """The checking matrix as concrete specs, in deterministic order.
+
+    ``layouts`` overrides the per-system defaults (use with care: not
+    every system supports every layout — barrier is single-device only).
+    """
+    if systems is None:
+        systems = list(DEFAULT_MATRIX)
+    specs = []
+    for system in systems:
+        if system not in DEFAULT_MATRIX:
+            raise ValueError(
+                f"unknown system {system!r}; one of {sorted(DEFAULT_MATRIX)}"
+            )
+        for layout in (layouts if layouts is not None
+                       else DEFAULT_MATRIX[system]):
+            for seed in seeds:
+                specs.append(
+                    WorkloadSpec(system=system, layout=layout,
+                                 seed=seed, **shape)
+                )
+    return specs
+
+
+def run_check_matrix(
+    specs: Sequence[WorkloadSpec],
+    runner: Optional[SweepRunner] = None,
+    shrink: bool = True,
+    reproducer_dir: Optional[str] = None,
+) -> MatrixResult:
+    """Check every spec (parallel + cached via ``runner``), then shrink
+    and dump a reproducer for each failing cell."""
+    import os
+
+    runner = runner or SweepRunner(jobs=1)
+    run_specs = [
+        RunSpec.make(check_cell, label=f"check:{spec.system}/{spec.layout}",
+                     **spec.to_dict())
+        for spec in specs
+    ]
+    reports = runner.map(run_specs)
+    result = MatrixResult(cells=list(zip(specs, reports)))
+
+    for index, (spec, report) in enumerate(result.failures):
+        minimal = shrink_spec(spec) if shrink else spec
+        result.reproducers.append(minimal)
+        if reproducer_dir is not None:
+            os.makedirs(reproducer_dir, exist_ok=True)
+            path = os.path.join(
+                reproducer_dir,
+                f"repro-{minimal.system}-{minimal.layout}-"
+                f"{minimal.seed}-{index}.json",
+            )
+            from repro.check.differential import check_workload
+
+            dump_reproducer(path, check_workload(minimal))
+            result.dumped.append(path)
+    return result

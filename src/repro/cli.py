@@ -149,6 +149,47 @@ def main(argv=None) -> int:
                      help="virtual seconds per configuration")
     swp.add_argument("--format", choices=("table", "markdown"),
                      default="table", help="output format")
+    chk = sub.add_parser(
+        "check",
+        help="crash-consistency check: enumerate crash points, replay "
+        "recovery, validate ordering invariants",
+    )
+    chk.add_argument("--systems", default=None,
+                     help="comma-separated systems (default: all four)")
+    chk.add_argument("--layouts", default=None,
+                     help="comma-separated layouts (default: per-system "
+                     "matrix; see repro.check.DEFAULT_MATRIX)")
+    chk.add_argument("--seeds", default="0,1,2",
+                     help="comma-separated workload seeds")
+    chk.add_argument("--streams", type=int, default=2)
+    chk.add_argument("--groups", type=int, default=4,
+                     help="ordered groups per stream")
+    chk.add_argument("--writes", type=int, default=2,
+                     help="writes per group")
+    chk.add_argument("--depth", type=int, default=2,
+                     help="submission depth per stream")
+    chk.add_argument("--flush-every", type=int, default=2,
+                     help="fsync every Nth group (0: never)")
+    chk.add_argument("--max-points", type=int, default=20,
+                     help="crash points sampled per cell (0: all)")
+    chk.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for the cell sweep")
+    chk_cache = chk.add_mutually_exclusive_group()
+    chk_cache.add_argument("--cache", dest="cache", action="store_true",
+                           default=False,
+                           help="memoize green cells in the result cache")
+    chk_cache.add_argument("--no-cache", dest="cache", action="store_false",
+                           help="always recompute (default)")
+    chk.add_argument("--cache-dir", default=None,
+                     help="cache root (default: results/.cache)")
+    chk.add_argument("--no-shrink", dest="shrink", action="store_false",
+                     default=True,
+                     help="skip shrinking failing specs")
+    chk.add_argument("--reproducers", default=None, metavar="DIR",
+                     help="dump a replayable JSON reproducer per failing "
+                     "cell into DIR")
+    chk.add_argument("--replay", default=None, metavar="FILE",
+                     help="re-run a dumped reproducer instead of the matrix")
     trace = sub.add_parser(
         "trace", help="export request-lifecycle spans as a Chrome trace"
     )
@@ -175,6 +216,51 @@ def main(argv=None) -> int:
     metrics.add_argument("--out", default=None,
                          help="output path (default: stdout)")
     args = parser.parse_args(argv)
+
+    if args.command == "check":
+        from repro.check import (
+            build_matrix_specs,
+            replay_reproducer,
+            run_check_matrix,
+        )
+        from repro.harness.cache import ResultCache
+        from repro.harness.sweep import SweepRunner
+
+        if args.replay:
+            report = replay_reproducer(args.replay)
+            print(f"replayed {args.replay}: spec {report.spec.to_json()}")
+            print(f"{report.crash_points} crash point(s), "
+                  f"{len(report.failures)} failing")
+            for failure in report.failures:
+                for violation in failure.violations:
+                    print(f"  t={failure.crash_time:.6g}: {violation}")
+            return 0 if report.ok else 1
+
+        systems = args.systems.split(",") if args.systems else None
+        layouts = args.layouts.split(",") if args.layouts else None
+        seeds = [int(s) for s in args.seeds.split(",") if s != ""]
+        specs = build_matrix_specs(
+            systems=systems,
+            layouts=layouts,
+            seeds=seeds,
+            streams=args.streams,
+            groups_per_stream=args.groups,
+            writes_per_group=args.writes,
+            depth=args.depth,
+            flush_every=args.flush_every,
+            max_points=args.max_points,
+        )
+        cache = ResultCache(root=args.cache_dir) if args.cache else None
+        runner = SweepRunner(jobs=args.jobs, cache=cache)
+        result = run_check_matrix(
+            specs, runner=runner, shrink=args.shrink,
+            reproducer_dir=args.reproducers,
+        )
+        print(result.render())
+        for path in result.dumped:
+            print(f"reproducer -> {path}")
+        print(f"[check: {runner.stats.summary()}]")
+        return 0 if result.ok else 1
 
     if args.command == "trace":
         from repro.harness.obs import traced_fsync_run

@@ -32,6 +32,7 @@ from repro.core.scheduler import RioIoScheduler
 from repro.core.sequencer import RioSequencer
 from repro.core.target import RioTargetPolicy
 from repro.hw.cpu import Core
+from repro.sim.engine import Event
 
 __all__ = ["RioDevice"]
 
@@ -72,6 +73,20 @@ class RioDevice:
             stream_base=stream_base,
         )
         self.scheduler.released_seq_of = self.sequencer.released_seq
+        #: Volatile-cache member devices needing an explicit fsync fan-out:
+        #: on a multi-device volume the FLUSH embedded in a group's final
+        #: request drains only the device(s) that request landed on, so a
+        #: flush-group's durability needs one FLUSH per volatile member
+        #: (single-device volumes are fully covered by the embedded FLUSH).
+        self._fanout_namespaces = (
+            [
+                ns
+                for ns in self.volume.namespaces
+                if not ns.target.ssds[ns.nsid].profile.plp
+            ]
+            if len(self.volume.namespaces) > 1
+            else []
+        )
         self.policies: List[RioTargetPolicy] = []
         for target in self.volume.targets():
             if isinstance(target.policy, RioTargetPolicy):
@@ -148,9 +163,55 @@ class RioDevice:
         error (e.g. ``STATUS_TIMEOUT`` after the driver's retry budget
         was exhausted under fault injection).
         """
-        return (
-            yield from self.sequencer.submit(core, bio, end_of_group, flush, kick)
+        release = yield from self.sequencer.submit(
+            core, bio, end_of_group, flush, kick
         )
+        if flush and self._fanout_namespaces:
+            # Durability of a flush group on a multi-device volume: gate
+            # the caller-visible completion behind per-device flushes of
+            # every volatile member (see _fsync_fanout).
+            gate = Event(self.env)
+            gate.bio = bio
+            self.env.process(
+                self._fsync_fanout(core, bio.stream_id, release, gate)
+            )
+            return gate
+        return release
+
+    def _fsync_fanout(self, core, stream_local: int, release, gate) -> None:
+        """Flush every volatile member device once the group is released.
+
+        The ordered release guarantees all requests of groups <= the
+        released seq have *completed* (so their data reached each device's
+        cache); the explicit per-device FLUSH then makes them durable, and
+        the target marks per-device flush evidence in its PMR log so the
+        recovery scan can validate the group (per-nsid rule in
+        :func:`repro.core.recovery.rebuild_server_list`).
+        """
+        if not release.triggered:
+            yield release
+        seq = release.value
+        global_stream = self.sequencer.stream_base + stream_local
+        waiters = []
+        for ns in self._fanout_namespaces:
+            try:
+                waiter = yield from self.driver.rpc(
+                    core,
+                    ns.endpoints[0],
+                    "rio_flush",
+                    (global_stream, ns.nsid, seq),
+                    nbytes=24,
+                )
+                waiters.append(waiter)
+            except Exception:
+                continue  # fault plane: a dead link must not wedge fsync
+        for waiter in waiters:
+            try:
+                yield waiter
+            except Exception:
+                continue
+        if not gate.triggered:
+            gate.succeed(seq)
 
     def write(
         self,

@@ -84,8 +84,21 @@ def rebuild_server_list(
     stream_id: int,
     records: Iterable[OrderingAttribute],
     plp: bool,
+    plp_by_nsid: Optional[Dict[int, bool]] = None,
 ) -> ServerList:
-    """Validate one server's records for one stream (§4.3.2)."""
+    """Validate one server's records for one stream (§4.3.2).
+
+    Durability evidence is *per device*, not per server: a persist=1 flush
+    attribute proves a drain of its own SSD's cache and nothing else, and
+    a PLP persist bit covers only the device it completed on.  With
+    ``plp_by_nsid`` (nsid -> device has PLP) each record is judged against
+    its own namespace; a target mixing PLP and volatile-cache SSDs would
+    otherwise let an Optane-side toggle validate flash records whose data
+    is still sitting in the flash write cache — a hole inside the
+    recovered prefix.  Without the map, ``plp`` applies to every record
+    (the single-device and uniform-server cases, and the synthetic states
+    of the property suite).
+    """
     mine = [
         r
         for r in _dedup_latest(records)
@@ -93,21 +106,30 @@ def rebuild_server_list(
     ]
     mine.sort(key=lambda r: (r.server_pos, r.log_pos))
     result = ServerList(target_name=target_name, stream_id=stream_id, records=mine)
-    if plp:
-        # Valid prefix: persist fields contiguously 1 from the front.
-        for record in mine:
-            if record.persist != 1:
-                break
+    if plp_by_nsid is None:
+        plp_by_nsid = {}
+    # Volatile devices: valid up to (and including) the latest persist=1
+    # flush attribute *of the same namespace* — a FLUSH drains exactly the
+    # requests admitted to its own device before it.
+    flush_limit: Dict[int, int] = {}
+    for record in mine:
+        if (
+            not plp_by_nsid.get(record.nsid, plp)
+            and record.flush
+            and record.persist == 1
+        ):
+            flush_limit[record.nsid] = record.server_pos
+    # PLP devices: persist fields contiguously 1 from the front of the
+    # namespace's own record subsequence.
+    plp_broken: Set[int] = set()
+    for record in mine:
+        if plp_by_nsid.get(record.nsid, plp):
+            if record.persist != 1 or record.nsid in plp_broken:
+                plp_broken.add(record.nsid)
+                continue
             result.valid.append(record)
-    else:
-        # Valid up to (and including) the latest persist=1 flush attribute.
-        flush_limit = -1
-        for record in mine:
-            if record.flush and record.persist == 1:
-                flush_limit = record.server_pos
-        for record in mine:
-            if record.server_pos <= flush_limit:
-                result.valid.append(record)
+        elif record.server_pos <= flush_limit.get(record.nsid, -1):
+            result.valid.append(record)
     return result
 
 
@@ -284,11 +306,23 @@ class RioRecovery:
             target.name: all(ssd.profile.plp for ssd in target.ssds)
             for target in self.stack.cluster.targets
         }
+        plp_by_nsid_of = {
+            target.name: {
+                nsid: ssd.profile.plp for nsid, ssd in enumerate(target.ssds)
+            }
+            for target in self.stack.cluster.targets
+        }
         stream_ids = sorted({r.stream_id for r in records})
         orders: Dict[int, GlobalOrder] = {}
         for stream_id in stream_ids:
             server_lists = [
-                rebuild_server_list(target.name, stream_id, records, plp_of[target.name])
+                rebuild_server_list(
+                    target.name,
+                    stream_id,
+                    records,
+                    plp_of[target.name],
+                    plp_by_nsid=plp_by_nsid_of[target.name],
+                )
                 for target in self.stack.cluster.targets
             ]
             orders[stream_id] = merge_global_order(server_lists, stream_id)

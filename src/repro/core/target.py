@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.attributes import ATTRIBUTE_SIZE, OrderingAttribute
 from repro.hw.pmr import PersistentMemoryRegion
+from repro.hw.ssd import DiskIO
 from repro.net.fabric import Message
 from repro.nvmeof.command import NvmeCommand
 from repro.nvmeof.target import TargetContext, TargetPolicy, TargetServer
@@ -291,6 +292,48 @@ class RioTargetPolicy(TargetPolicy):
                     kind="rpc_resp",
                     payload=(rpc_id, records),
                     nbytes=max(ATTRIBUTE_SIZE, ATTRIBUTE_SIZE * len(records)),
+                )
+            )
+        elif message.kind == "rio_flush":
+            # fsync fan-out (§4.6 durability): on a volume spanning several
+            # devices the FLUSH embedded in the final request drains only
+            # the device(s) that request landed on.  The initiator fans an
+            # explicit per-device flush out to every *volatile* member once
+            # the group is released; the drain covers everything admitted
+            # to this device for groups <= up_to_seq, so the newest covered
+            # PMR record of this (stream, device) becomes valid flush
+            # evidence for the recovery scan.
+            stream_id, nsid, up_to_seq = payload
+            ssd = self.target.ssds[nsid]
+            yield from ctx.core.run(0.2e-6)
+            yield ssd.submit(DiskIO(op="flush"))
+            best_offset = None
+            best: Optional[OrderingAttribute] = None
+            for offset, record in self.target.pmr.records().items():
+                if (
+                    isinstance(record, OrderingAttribute)
+                    and record.stream_id == stream_id
+                    and record.nsid == nsid
+                    and record.end_seq <= up_to_seq
+                    and (
+                        best is None
+                        or (record.server_pos, record.log_pos)
+                        > (best.server_pos, best.log_pos)
+                    )
+                ):
+                    best_offset, best = offset, record
+            if best is not None:
+                yield from ctx.completion_core.run(0.15e-6)
+                best.flush = True
+                best.persist = 1
+                self.target.pmr.persist_instant(
+                    best_offset, ATTRIBUTE_SIZE, best
+                )
+            ctx.endpoint.post_send(
+                Message(
+                    kind="rpc_resp",
+                    payload=(rpc_id, best is not None),
+                    nbytes=16,
                 )
             )
         elif message.kind == "rio_discard":

@@ -26,7 +26,12 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.fs.filesystem import File, SimFileSystem
 from repro.hw.cpu import Core
 
-__all__ = ["FsRecoveryReport", "recover_filesystem"]
+__all__ = [
+    "FsRecoveryReport",
+    "recover_filesystem",
+    "verify_acked_fsyncs",
+    "order_violations_as_check",
+]
 
 #: Blocks fetched per journal-scan read.
 SCAN_CHUNK = 64
@@ -121,6 +126,51 @@ def recover_filesystem(fs: SimFileSystem, core: Core, report: Optional[FsRecover
 
     report.elapsed = env.now - started
     return report
+
+
+def verify_acked_fsyncs(fs: SimFileSystem, acked_versions: Dict[str, int]):
+    """File-system half of the crash-consistency oracle (``repro.check``).
+
+    ``acked_versions`` maps a file name to the highest inode version whose
+    ``fsync`` completion fired before the crash.  After
+    :func:`recover_filesystem`, every such file must exist at that version
+    or newer — anything less means an acknowledged fsync was lost, the
+    file-system analogue of the block-level ``lost-fsync`` violation.
+    Returns the violations (empty list = contract holds).
+    """
+    from repro.check.oracle import Violation
+
+    violations = []
+    for name, version in sorted(acked_versions.items()):
+        file = fs.files.get(name)
+        if file is None:
+            violations.append(Violation(
+                kind="lost-fsync", stream=-1, group=-1,
+                detail=f"file {name!r} (acked at v{version}) missing "
+                f"after recovery",
+            ))
+        elif file.version < version:
+            violations.append(Violation(
+                kind="lost-fsync", stream=-1, group=-1,
+                detail=f"file {name!r} recovered at v{file.version} < "
+                f"acked v{version}",
+            ))
+    return violations
+
+
+def order_violations_as_check(report: FsRecoveryReport):
+    """The report's data-consistency findings as checker violations, so
+    fs-level recovery outcomes compose with the block-level oracle."""
+    from repro.check.oracle import Violation
+
+    return [
+        Violation(
+            kind="order-hole", stream=-1, group=-1,
+            detail=f"file {name!r} block {lba}: data older than committed "
+            f"metadata or missing",
+        )
+        for name, lba in report.order_violations
+    ]
 
 
 def _scan_home_inodes(fs: SimFileSystem, core: Core, limit: int = 4096):

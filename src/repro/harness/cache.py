@@ -31,7 +31,8 @@ import tempfile
 from pathlib import Path
 from typing import Any, Optional, Tuple
 
-__all__ = ["ResultCache", "code_version", "default_cache_dir"]
+__all__ = ["ResultCache", "code_version", "default_cache_dir",
+           "env_fingerprint"]
 
 #: Environment overrides (mostly for tests and CI):
 #: ``REPRO_CACHE_DIR`` relocates the cache root;
@@ -51,8 +52,37 @@ def default_cache_dir() -> Path:
     return Path("results") / ".cache"
 
 
+def env_fingerprint() -> str:
+    """Digest of result-affecting ``REPRO_*`` environment overrides.
+
+    Engine floors, cost knobs and other ``REPRO_*`` variables change the
+    numbers a spec memoises, so they must key the cache namespace just
+    like the source tree does.  ``REPRO_CACHE_DIR`` only relocates the
+    store and ``REPRO_CACHE_VERSION`` is already the namespace base, so
+    both are excluded.  Returns ``""`` when no override is set (the
+    common case keeps its short, stable version directory name).
+    """
+    items = sorted(
+        (key, value)
+        for key, value in os.environ.items()
+        if key.startswith("REPRO_")
+        and key not in (ENV_CACHE_DIR, ENV_CACHE_VERSION)
+    )
+    if not items:
+        return ""
+    digest = hashlib.sha256()
+    for key, value in items:
+        digest.update(key.encode())
+        digest.update(b"=")
+        digest.update(value.encode())
+        digest.update(b"\0")
+    return digest.hexdigest()[:12]
+
+
 def code_version() -> str:
-    """Digest of every ``repro`` source file (memoized per process).
+    """Digest of every ``repro`` source file (memoized per process),
+    suffixed with :func:`env_fingerprint` when result-affecting
+    ``REPRO_*`` overrides are set.
 
     Keying cache entries by this digest means a code change — any code
     change, even one that could not affect the numbers — starts a fresh
@@ -60,9 +90,10 @@ def code_version() -> str:
     directories under the cache root and can be deleted freely.
     """
     global _code_version_memo
+    env_suffix = env_fingerprint()
     override = os.environ.get(ENV_CACHE_VERSION)
     if override:
-        return override
+        return f"{override}-{env_suffix}" if env_suffix else override
     if _code_version_memo is None:
         import repro
 
@@ -74,6 +105,8 @@ def code_version() -> str:
             digest.update(path.read_bytes())
             digest.update(b"\0")
         _code_version_memo = digest.hexdigest()[:16]
+    if env_suffix:
+        return f"{_code_version_memo}-{env_suffix}"
     return _code_version_memo
 
 

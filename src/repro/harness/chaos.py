@@ -102,6 +102,11 @@ class ChaosResult:
     commands_timed_out: int = 0
     duplicates_suppressed: int = 0
     trace_events: int = 0
+    #: Live (non-cancelled) event-heap entries at the end of the run.
+    #: Completed watchdog arms must disarm their expiry timeouts; a large
+    #: value here means commands are leaking armed timers (see
+    #: ``Timeout.cancel``).
+    heap_live_entries: int = 0
 
     @property
     def total_groups(self) -> int:
@@ -279,6 +284,7 @@ def run_chaos_trial(
 
     result.completed_groups = len(result.completion_log)
     result.elapsed = env.now
+    result.heap_live_entries = env.live_heap_size()
 
     # -- audits --------------------------------------------------------
     if system in ("rio", "linux"):

@@ -17,6 +17,7 @@ managed in host memory, exactly as §4.3.2 describes.
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Dict, Optional
 
 from repro.sim.engine import Environment
@@ -55,6 +56,11 @@ class PersistentMemoryRegion:
         self.name = name
         self._records: Dict[int, tuple] = {}  # offset -> (nbytes, record)
         self.writes = 0
+        #: Optional hook fired after every persistent store (including
+        #: in-place ``persist_instant`` updates such as Rio's persist-bit
+        #: toggles).  The crash-consistency checker snapshots here; None
+        #: keeps the store paths a single attribute check.
+        self.on_persist = None
 
     def persist(self, core, offset: int, nbytes: int, record: Any):
         """Generator: persistently store ``record`` at ``offset``.
@@ -68,11 +74,15 @@ class PersistentMemoryRegion:
         yield from core.run(self.write_latency * units)
         self._records[offset] = (nbytes, record)
         self.writes += 1
+        if self.on_persist is not None:
+            self.on_persist(self)
 
     def persist_instant(self, offset: int, nbytes: int, record: Any) -> None:
         """Store without charging latency (setup/test helper)."""
         self._check_range(offset, nbytes)
         self._records[offset] = (nbytes, record)
+        if self.on_persist is not None:
+            self.on_persist(self)
 
     def read(self, offset: int) -> Optional[Any]:
         """The record stored at ``offset`` (None if empty)."""
@@ -92,6 +102,21 @@ class PersistentMemoryRegion:
 
     def crash(self) -> None:
         """Power failure: persisted records survive by definition."""
+
+    # -- snapshot/restore (crash-consistency checker) ----------------------
+
+    def capture_state(self) -> Dict[int, tuple]:
+        """Deep copy of the persisted records.
+
+        A deep copy is load-bearing: Rio's persist-bit toggle mutates the
+        stored record object in place, so a shallow snapshot taken before
+        the toggle would silently acquire it afterwards.
+        """
+        return copy.deepcopy(self._records)
+
+    def restore_state(self, state: Dict[int, tuple]) -> None:
+        """Overwrite the region with a captured snapshot."""
+        self._records = copy.deepcopy(state)
 
     def _check_range(self, offset: int, nbytes: int) -> None:
         if offset < 0 or nbytes <= 0 or offset + nbytes > self.size:

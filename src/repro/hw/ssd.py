@@ -207,6 +207,11 @@ class NvmeSsd:
         self._epoch = 0
         self.commands_served = 0
         self.flushes_served = 0
+        #: Optional hook fired after every durable-media mutation (PLP
+        #: persist or cache-drain batch apply).  The crash-consistency
+        #: checker uses it to snapshot state at persistence events; None
+        #: (the default) keeps the hot paths a single attribute check.
+        self.on_persist = None
         obs = env.obs
         if obs is not None:
             m = obs.metrics
@@ -231,6 +236,16 @@ class NvmeSsd:
         #: order); this is the §2.2 cost of the barrier interface.
         self._barrier_lane = Resource(env, capacity=1)
         self._barrier_fifo: deque = deque()
+        #: Barrier-order tickets: reserved synchronously at command
+        #: admission (see reserve_barrier_ticket) or at submit(), so the
+        #: device's contract — barrier writes persist in *submission*
+        #: order — survives the concurrent service stages (RDMA data
+        #: fetch, latency jitter), which would otherwise let a small
+        #: barrier write overtake a large earlier one.
+        self._barrier_next_ticket = 0
+        self._barrier_turn = 0
+        self._barrier_turn_waiters: Dict[int, Event] = {}
+        self._barrier_abandoned: set = set()
         self._cache: Dict[int, _CacheEntry] = {}
         self._drain_queue: deque = deque()
         self._cache_bytes = 0
@@ -258,8 +273,27 @@ class NvmeSsd:
         if self.crashed:
             done.fail(CrashedError(f"{self.name} is crashed"))
             return done
+        if io.op == "write" and io.barrier:
+            # Claim the barrier-order ticket unless the submitter reserved
+            # one earlier (a target reserves at command admission, before
+            # the size-dependent data fetch can scramble arrival order).
+            if getattr(io, "_barrier_ticket", None) is None:
+                io._barrier_ticket = self.reserve_barrier_ticket()  # type: ignore[attr-defined]
         self.env.process(self._serve(io, done, self._epoch))
         return done
+
+    def reserve_barrier_ticket(self) -> int:
+        """Claim the next slot in the device's barrier persist order.
+
+        Barrier writes persist strictly in ticket order; callers that can
+        observe the intended submission order earlier than :meth:`submit`
+        (e.g. an NVMe-oF target whose concurrent command handling fetches
+        write data with size-dependent RDMA READs) reserve here and attach
+        the ticket to the :class:`DiskIO` as ``_barrier_ticket``.
+        """
+        ticket = self._barrier_next_ticket
+        self._barrier_next_ticket += 1
+        return ticket
 
     def crash(self) -> None:
         """Power failure: lose the volatile cache and in-flight commands."""
@@ -304,6 +338,27 @@ class NvmeSsd:
     @property
     def dirty_bytes(self) -> int:
         return self._cache_bytes
+
+    # -- durable-state snapshot/restore (crash-consistency checker) --------
+
+    def capture_durable_state(self) -> Dict[str, Any]:
+        """Copy of exactly what survives a power failure right now."""
+        return {
+            "media": dict(self._media),
+            "media_version": dict(self._media_version),
+            "version_counter": self._version_counter,
+        }
+
+    def restore_durable_state(self, state: Dict[str, Any]) -> None:
+        """Overwrite durable media with a captured snapshot.
+
+        Used on a freshly built (never-written) device to materialize a
+        crash point; volatile state is untouched, matching the post-crash
+        power-on condition.
+        """
+        self._media = dict(state["media"])
+        self._media_version = dict(state["media_version"])
+        self._version_counter = state["version_counter"]
 
     # ------------------------------------------------------------------
     # Command service
@@ -363,6 +418,7 @@ class NvmeSsd:
                 # through one lane so their persistence order matches
                 # their submission order (§2.2's barrier interface).
                 if io.barrier:
+                    yield from self._await_barrier_turn(io, epoch)
                     yield self._barrier_lane.request()
                 try:
                     yield self._media_pipe.request()
@@ -378,6 +434,8 @@ class NvmeSsd:
                     )
                     self._check_epoch(epoch)
                     self._persist_blocks(io)
+                    if io.barrier:
+                        self._advance_barrier_turn(io)
                 finally:
                     if io.barrier and epoch == self._epoch:
                         self._barrier_lane.release()
@@ -388,13 +446,52 @@ class NvmeSsd:
                     self.rng.jitter(profile.write_latency, 0.05)
                 )
                 self._check_epoch(epoch)
+                if io.barrier:
+                    # Admit to the cache (and the FIFO drain lane) in
+                    # submission order: the latency jitter above must not
+                    # reorder barrier writes.
+                    yield from self._await_barrier_turn(io, epoch)
                 self._insert_cache(io, barrier=io.barrier)
+                if io.barrier:
+                    self._advance_barrier_turn(io)
                 if io.fua:
                     # Force-unit-access: durable before completing.
                     yield from self._serve_flush(epoch)
         finally:
             if epoch == self._epoch:
                 self._slots.release()
+
+    def _await_barrier_turn(self, io: DiskIO, epoch: int):
+        """Generator: park until every earlier barrier write persisted."""
+        ticket = io._barrier_ticket  # type: ignore[attr-defined]
+        while self._barrier_turn < ticket:
+            self._check_epoch(epoch)
+            waiter = self._barrier_turn_waiters.get(ticket)
+            if waiter is None or waiter.triggered:
+                waiter = Event(self.env)
+                self._barrier_turn_waiters[ticket] = waiter
+            yield waiter
+        self._check_epoch(epoch)
+
+    def _advance_barrier_turn(self, io: DiskIO) -> None:
+        ticket = io._barrier_ticket  # type: ignore[attr-defined]
+        self._barrier_turn = max(self._barrier_turn, ticket + 1)
+        self._wake_barrier_turn()
+
+    def release_barrier_ticket(self, ticket: int) -> None:
+        """Abandon a reserved ticket that will never reach :meth:`submit`
+        (e.g. a retransmitted command suppressed as a duplicate); the
+        persist order skips over it instead of wedging its successors."""
+        self._barrier_abandoned.add(ticket)
+        self._wake_barrier_turn()
+
+    def _wake_barrier_turn(self) -> None:
+        while self._barrier_turn in self._barrier_abandoned:
+            self._barrier_abandoned.discard(self._barrier_turn)
+            self._barrier_turn += 1
+        successor = self._barrier_turn_waiters.pop(self._barrier_turn, None)
+        if successor is not None and not successor.triggered:
+            successor.succeed()
 
     def _serve_read(self, io: DiskIO, epoch: int):
         profile = self.profile
@@ -554,6 +651,8 @@ class NvmeSsd:
                     self._pending_drain_seqs.discard(entry.seq)
                 # else: overwritten mid-drain by a successor that inherited
                 # this seq — the obligation stays until the successor drains.
+            if self.on_persist is not None:
+                self.on_persist(self)
             self._wake_waiters()
 
     def _wake_waiters(self) -> None:
@@ -581,6 +680,8 @@ class NvmeSsd:
             self._version_counter += 1
             self._media[lba] = payload
             self._media_version[lba] = self._version_counter
+        if self.on_persist is not None:
+            self.on_persist(self)
 
     def __repr__(self) -> str:
         return f"<NvmeSsd {self.name} ({self.profile.name})>"

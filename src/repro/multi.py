@@ -68,13 +68,21 @@ class StreamDirectory:
     for why distributed concurrency control is not the slow part.)
     """
 
-    def __init__(self) -> None:
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
         self._next_base = 0
         self.allocations: List[tuple] = []
 
     def allocate(self, count: int) -> int:
         if count < 1:
             raise ValueError("need at least one stream")
+        if self.capacity is not None and self._next_base + count > self.capacity:
+            raise ValueError(
+                f"stream directory exhausted: requested {count}, "
+                f"{self.capacity - self._next_base} of {self.capacity} left"
+            )
         base = self._next_base
         self._next_base += count
         self.allocations.append((base, count))

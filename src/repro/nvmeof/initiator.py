@@ -398,6 +398,7 @@ class InitiatorDriver:
             expiry = self.env.timeout(delay)
             yield self.env.any_of([entry.done, expiry])
             if entry.done.triggered:
+                expiry.cancel()  # disarm: don't leak a live heap entry
                 return
             if entry.cmd.cid not in self._pending:
                 return  # completed/aborted concurrently
@@ -435,6 +436,7 @@ class InitiatorDriver:
             expiry = self.env.timeout(delay)
             yield self.env.any_of([entry.waiter, expiry])
             if entry.waiter.triggered:
+                expiry.cancel()  # disarm: don't leak a live heap entry
                 return
             if entry.rpc_id not in self._pending_rpcs:
                 return

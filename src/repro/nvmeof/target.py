@@ -314,7 +314,15 @@ class TargetServer:
         if self.crashed:
             return
 
+        barrier_ticket = None
         if cmd.opcode == OP_WRITE:
+            if cmd.barrier:
+                # Reserve the device's barrier-order slot *now*, while
+                # command handling is still serialized in QP delivery
+                # order: the data fetch below takes size-dependent time,
+                # so concurrently handled commands reach ssd.submit() in
+                # scrambled order.
+                barrier_ticket = self.ssds[cmd.nsid].reserve_barrier_ticket()
             if endpoint.qp.transport == "tcp":
                 # NVMe/TCP: the data arrived inline; pay the socket stack
                 # and the copy out of the receive buffers.
@@ -338,6 +346,8 @@ class TargetServer:
             # re-applied (idempotent retry).  Acknowledge immediately — the
             # original execution owns persistence and ordering.
             self.duplicates_suppressed += 1
+            if barrier_ticket is not None:
+                self.ssds[cmd.nsid].release_barrier_ticket(barrier_ticket)
             yield from ctx.completion_core.run(self.costs.response_post)
             endpoint.post_send(
                 Message(
@@ -366,6 +376,8 @@ class TargetServer:
                 fua=cmd.fua,
                 barrier=cmd.barrier,
             )
+            if barrier_ticket is not None:
+                io._barrier_ticket = barrier_ticket  # type: ignore[attr-defined]
         else:
             io = DiskIO(op="read", lba=cmd.slba, nblocks=cmd.nblocks)
         io.obs_parent = ctx.obs_span

@@ -47,7 +47,7 @@ bit-identity test in ``tests/harness/test_sweep.py`` pin that down.
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 from itertools import count
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
@@ -95,6 +95,7 @@ class Interrupt(Exception):
 _PENDING = 0
 _TRIGGERED = 1  # scheduled on the heap, callbacks not yet run
 _PROCESSED = 2  # callbacks have run
+_CANCELLED = 3  # heap entry is dead; the run loop skips it
 
 
 class Event:
@@ -199,6 +200,26 @@ class Timeout(Event):
         self._value = value
         self.delay = delay
         heappush(env._heap, (env._now + delay, next(env._eid), self))
+
+    def cancel(self) -> None:
+        """Disarm a timeout that lost a race (e.g. the other arm of an
+        ``any_of`` fired first).
+
+        The heap entry cannot be removed cheaply, so the timeout is marked
+        dead and the run loop skips it without advancing the clock; once
+        enough dead entries accumulate the environment compacts the heap in
+        one pass.  Without this, every completed watchdog arm would stay a
+        live heap entry until its expiry time — a real leak on long runs.
+        No-op if the timeout already fired.
+        """
+        if self._state != _TRIGGERED:
+            return
+        self._state = _CANCELLED
+        self.callbacks = []
+        env = self.env
+        env._cancelled += 1
+        if env._cancelled > 64 and env._cancelled * 2 > len(env._heap):
+            env._compact_heap()
 
 
 class Condition(Event):
@@ -338,6 +359,9 @@ class Environment:
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._heap: List = []
+        #: Dead (cancelled) entries still sitting in the heap; the run
+        #: loops skip them and :meth:`_compact_heap` sweeps them in bulk.
+        self._cancelled = 0
         self._eid = count()
         self._active_process: Optional[Process] = None
         #: Liveness registry: token -> (event, description).  Checked when
@@ -424,23 +448,46 @@ class Environment:
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         heappush(self._heap, (self._now + delay, next(self._eid), event))
 
+    def _compact_heap(self) -> None:
+        """Drop cancelled entries in one pass and re-heapify.
+
+        Filters in place: the run loops bind ``self._heap`` to a local, so
+        rebinding the attribute here would strand them on a stale list.
+        """
+        self._heap[:] = [entry for entry in self._heap
+                         if entry[2]._state != _CANCELLED]
+        heapify(self._heap)
+        self._cancelled = 0
+
+    def live_heap_size(self) -> int:
+        """Number of heap entries that can still fire (excludes cancelled)."""
+        return len(self._heap) - self._cancelled
+
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        heap = self._heap
+        while heap and heap[0][2]._state == _CANCELLED:
+            heappop(heap)
+            self._cancelled -= 1
+        return heap[0][0] if heap else float("inf")
 
     def step(self) -> None:
-        """Process the single next event."""
+        """Process the single next (live) event."""
         heap = self._heap
-        if not heap:
-            raise SimulationError("no more events to step")
-        when, _eid, event = heappop(heap)
-        self._now = when
-        event._state = _PROCESSED
-        callbacks = event.callbacks
-        if callbacks:
-            event.callbacks = []
-            for callback in callbacks:
-                callback(event)
+        while heap:
+            when, _eid, event = heappop(heap)
+            if event._state == _CANCELLED:
+                self._cancelled -= 1
+                continue
+            self._now = when
+            event._state = _PROCESSED
+            callbacks = event.callbacks
+            if callbacks:
+                event.callbacks = []
+                for callback in callbacks:
+                    callback(event)
+            return
+        raise SimulationError("no more events to step")
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the heap drains or virtual time reaches ``until``.
@@ -457,6 +504,9 @@ class Environment:
         if until is None:
             while heap:
                 when, _eid, event = pop(heap)
+                if event._state == _CANCELLED:
+                    self._cancelled -= 1
+                    continue
                 self._now = when
                 event._state = _PROCESSED
                 callbacks = event.callbacks
@@ -470,6 +520,9 @@ class Environment:
             raise ValueError(f"until={until} is in the past (now={self._now})")
         while heap and heap[0][0] <= until:
             when, _eid, event = pop(heap)
+            if event._state == _CANCELLED:
+                self._cancelled -= 1
+                continue
             self._now = when
             event._state = _PROCESSED
             callbacks = event.callbacks
@@ -485,14 +538,15 @@ class Environment:
     def run_until_event(self, event: Event, limit: float = float("inf")) -> Any:
         """Run until ``event`` fires; returns its value. Raises on failure."""
         while not event.triggered:
-            if not self._heap:
+            upcoming = self.peek()
+            if upcoming == float("inf"):
                 self._raise_if_deadlocked()
                 raise SimulationError("event can never fire: heap is empty")
-            if self._heap[0][0] > limit:
+            if upcoming > limit:
                 raise SimulationError(f"event did not fire before t={limit}")
             self.step()
         # Drain same-timestamp callbacks so waiters observe the value too.
-        while self._heap and self._heap[0][0] <= self._now:
+        while self.peek() <= self._now:
             self.step()
         if not event.ok:
             raise event.value

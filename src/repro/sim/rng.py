@@ -8,6 +8,7 @@ run of a benchmark produces identical virtual-time results.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import List, Sequence, TypeVar
 
@@ -29,8 +30,19 @@ class DeterministicRNG:
         self._random = random.Random(self.seed)
 
     def fork(self, name: str) -> "DeterministicRNG":
-        """A new independent RNG derived from this seed and ``name``."""
-        derived = (self.seed * 1_000_003 + hash_str(name)) & 0x7FFF_FFFF_FFFF_FFFF
+        """A new independent RNG derived from this seed and ``name``.
+
+        The derivation hashes the full ``(seed, name)`` pair.  The old
+        affine scheme (``seed * K + hash_str(name)``) was invertible in the
+        seed, so for any two names there existed seed pairs whose forks
+        collided exactly; two components could then share one latency
+        stream and correlate "independent" jitter.
+        """
+        digest = hashlib.blake2b(
+            str(self.seed).encode("ascii") + b"\0" + name.encode("utf-8"),
+            digest_size=8,
+        ).digest()
+        derived = int.from_bytes(digest, "little") & 0x7FFF_FFFF_FFFF_FFFF
         return DeterministicRNG(derived)
 
     def uniform(self, low: float, high: float) -> float:

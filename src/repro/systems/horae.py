@@ -315,26 +315,41 @@ class HoraeRecovery:
             yield event
 
         # Verdicts from the validated content; compute per-stream prefixes.
+        # An epoch is the *atomic* unit of ordering: with a multi-target
+        # volume one epoch leaves one metadata record per involved target,
+        # and the epoch is durable only if every record's extents are —
+        # validating records individually would let an epoch torn across
+        # targets survive on the target whose half happened to persist.
         discards: Dict[str, List] = {}
         for stream_id, stream_records in per_stream.items():
-            stream_records.sort(key=lambda r: r["epoch"])
+            per_epoch: Dict[int, List[dict]] = {}
+            for record in stream_records:
+                per_epoch.setdefault(record["epoch"], []).append(record)
             prefix_ok = True
             prefix_epoch = 0
-            for record in stream_records:
-                target = targets.get(record.get("target"))
-                durable = target is not None and all(
-                    target.ssds[nsid].is_durable(block)
-                    for nsid, lba, nblocks in record["extents"]
-                    for block in range(lba, lba + nblocks)
+            for epoch in sorted(per_epoch):
+                epoch_records = per_epoch[epoch]
+                durable = all(
+                    targets.get(record.get("target")) is not None
+                    and all(
+                        targets[record["target"]].ssds[nsid].is_durable(block)
+                        for nsid, lba, nblocks in record["extents"]
+                        for block in range(lba, lba + nblocks)
+                    )
+                    for record in epoch_records
                 )
                 if prefix_ok and durable:
-                    prefix_epoch = record["epoch"]
+                    prefix_epoch = epoch
                 else:
+                    # Beyond the prefix: discard the *whole* epoch on every
+                    # involved target, including its durable fragments.
                     prefix_ok = False
-                    if target is not None:
-                        discards.setdefault(target.name, []).extend(
-                            record["extents"]
-                        )
+                    for record in epoch_records:
+                        target = targets.get(record.get("target"))
+                        if target is not None:
+                            discards.setdefault(target.name, []).extend(
+                                record["extents"]
+                            )
             report.prefixes[stream_id] = prefix_epoch
 
         waiters = []

@@ -1,0 +1,60 @@
+"""Crash-point enumeration: snapshots, dedup/sampling, fresh-cluster restore."""
+
+from repro.check.crashpoints import (
+    capture_cluster,
+    record_run,
+    restore_cluster,
+    select_crash_points,
+)
+from repro.check.workload import WorkloadSpec, build_testbed
+
+SMALL = WorkloadSpec(system="rio", layout="optane", seed=0, streams=1,
+                     groups_per_stream=3, writes_per_group=2, depth=2,
+                     flush_every=2)
+
+
+def test_record_run_snapshots_every_persistence_event():
+    run = record_run(SMALL)
+    assert run.snapshots, "no persistence events were observed"
+    times = [s.time for s in run.snapshots]
+    assert times == sorted(times)
+    # Every group completed on the fault-free run.
+    assert len(run.completions) == SMALL.streams * SMALL.groups_per_stream
+    assert run.elapsed > 0
+
+
+def test_record_run_is_deterministic():
+    a = record_run(SMALL)
+    b = record_run(SMALL)
+    assert [s.time for s in a.snapshots] == [s.time for s in b.snapshots]
+    assert a.final.ssd == b.final.ssd
+    assert [(c.time, c.stream, c.group) for c in a.completions] == \
+        [(c.time, c.stream, c.group) for c in b.completions]
+
+
+def test_select_crash_points_dedups_same_time_mutations():
+    run = record_run(SMALL)
+    points = select_crash_points(run)
+    times = [p.time for p in points]
+    assert len(times) == len(set(times))
+    assert times == sorted(times)
+
+
+def test_select_crash_points_sampling_keeps_endpoints():
+    spec = SMALL.with_(max_points=4)
+    run = record_run(spec)
+    all_points = select_crash_points(record_run(SMALL))
+    sampled = select_crash_points(run)
+    assert len(sampled) <= 4
+    if len(all_points) > 4:
+        assert sampled[0].time == all_points[0].time
+        assert sampled[-1].time == all_points[-1].time
+
+
+def test_restore_into_fresh_cluster_reproduces_durable_state():
+    run = record_run(SMALL)
+    _env, cluster, _stack = build_testbed(SMALL)
+    restore_cluster(cluster, run.final)
+    recaptured = capture_cluster(cluster, run.final.time)
+    assert recaptured.ssd == run.final.ssd
+    assert set(recaptured.pmr) == set(run.final.pmr)

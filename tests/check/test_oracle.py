@@ -1,0 +1,95 @@
+"""Synthetic states through the pure order oracle: every violation kind."""
+
+from repro.check.oracle import (
+    acked_groups,
+    check_order_invariants,
+    group_status,
+)
+from repro.check.workload import Completion, GroupPlan, WritePlan
+
+
+def _plan(statuses, flush=()):
+    """One stream; group i+1 gets 1 write x 2 blocks."""
+    plan = []
+    for i in range(len(statuses)):
+        index = i + 1
+        write = WritePlan(lba=i * 2, nblocks=2,
+                         tokens=(("chk", 0, index, 0, 0),
+                                 ("chk", 0, index, 0, 1)))
+        plan.append(GroupPlan(0, index, index in flush, (write,)))
+    return plan
+
+
+def _survival(statuses):
+    flags = {"full": [True, True], "none": [False, False],
+             "partial": [True, False]}
+    return {(0, i + 1): [flags[s]] for i, s in enumerate(statuses)}
+
+
+def _check(system, statuses, flush=(), acked=frozenset()):
+    return check_order_invariants(
+        system, _plan(statuses, flush), _survival(statuses), set(acked)
+    )
+
+
+def test_group_status():
+    assert group_status([[True, True], [True]]) == "full"
+    assert group_status([[False], [False, False]]) == "none"
+    assert group_status([[True], [False]]) == "partial"
+
+
+def test_rollback_prefix_passes():
+    for system in ("rio", "horae"):
+        assert _check(system, ["full", "full", "none", "none"]) == []
+
+
+def test_rollback_torn_group_flagged():
+    violations = _check("rio", ["full", "partial", "none"])
+    assert [v.kind for v in violations] == ["torn-group"]
+    assert violations[0].group == 2
+
+
+def test_rollback_hole_flagged():
+    violations = _check("horae", ["full", "none", "full"])
+    assert [v.kind for v in violations] == ["order-hole"]
+    assert violations[0].group == 3
+
+
+def test_linux_allows_one_trailing_torn_group():
+    assert _check("linux", ["full", "partial", "none"]) == []
+    assert _check("linux", ["full", "full", "none"]) == []
+
+
+def test_linux_rejects_survivor_after_gap():
+    violations = _check("linux", ["none", "full"])
+    assert [v.kind for v in violations] == ["order-hole"]
+    violations = _check("linux", ["partial", "partial"])
+    assert [v.kind for v in violations] == ["order-hole"]
+
+
+def test_barrier_block_prefix_passes():
+    assert _check("barrier", ["full", "partial", "none"]) == []
+
+
+def test_barrier_reorder_flagged():
+    # A torn group followed by a survivor: block-level out-of-order persist.
+    violations = _check("barrier", ["partial", "full"])
+    assert violations and violations[0].kind == "barrier-reorder"
+
+
+def test_lost_fsync_flagged_for_every_system():
+    for system in ("rio", "horae", "linux", "barrier"):
+        violations = _check(system, ["full", "none"], flush=(2,),
+                            acked={(0, 2)})
+        assert any(v.kind == "lost-fsync" for v in violations), system
+
+
+def test_acked_fsync_that_survived_is_fine():
+    assert _check("rio", ["full", "full"], flush=(2,), acked={(0, 2)}) == []
+
+
+def test_acked_groups_strictly_before_crash():
+    completions = [Completion(1.0, 0, 1, False), Completion(2.0, 0, 2, True)]
+    assert acked_groups(completions, 1.5) == {(0, 1)}
+    assert acked_groups(completions, 2.0) == {(0, 1)}  # strict
+    assert acked_groups(completions, 3.0) == {(0, 1), (0, 2)}

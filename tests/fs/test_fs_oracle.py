@@ -1,0 +1,82 @@
+"""The file-system half of the crash-consistency oracle (``repro.check``):
+acknowledged fsyncs must survive recovery at their acked version."""
+
+from repro.cluster import Cluster
+from repro.fs.filesystem import make_filesystem
+from repro.fs.recovery import (
+    FsRecoveryReport,
+    order_violations_as_check,
+    recover_filesystem,
+    verify_acked_fsyncs,
+)
+from repro.hw.ssd import OPTANE_905P
+from repro.sim import Environment
+
+
+def _riofs_after_synced_writes(names=("a", "b")):
+    env = Environment()
+    cluster = Cluster(env, target_ssds=((OPTANE_905P,),))
+    fs = make_filesystem("riofs", cluster, num_journals=1)
+    core = cluster.initiator.cpus.pick(0)
+    acked = {}
+
+    def workload(env):
+        for name in names:
+            file = yield from fs.create(core, name)
+            yield from fs.append(core, file, nblocks=2)
+            yield from fs.fsync(core, file)
+            acked[name] = file.version
+
+    env.run_until_event(env.process(workload(env)))
+    return env, cluster, fs, core, acked
+
+
+def _recover(env, cluster, fs, core):
+    fresh = make_filesystem("riofs", cluster, num_journals=1)
+    holder = {}
+
+    def proc(env):
+        holder["report"] = yield from recover_filesystem(fresh, core)
+
+    env.run_until_event(env.process(proc(env)))
+    return fresh, holder["report"]
+
+
+def test_acked_fsyncs_survive_recovery():
+    env, cluster, fs, core, acked = _riofs_after_synced_writes()
+    recovered, _report = _recover(env, cluster, fs, core)
+    assert verify_acked_fsyncs(recovered, acked) == []
+
+
+def test_lost_file_is_a_violation():
+    env, cluster, fs, core, acked = _riofs_after_synced_writes()
+    recovered, _report = _recover(env, cluster, fs, core)
+    del recovered.files["a"]
+    violations = verify_acked_fsyncs(recovered, acked)
+    assert [v.kind for v in violations] == ["lost-fsync"]
+    assert "'a'" in violations[0].detail
+
+
+def test_stale_version_is_a_violation():
+    env, cluster, fs, core, acked = _riofs_after_synced_writes()
+    recovered, _report = _recover(env, cluster, fs, core)
+    recovered.files["b"].version -= 1
+    violations = verify_acked_fsyncs(recovered, acked)
+    assert [v.kind for v in violations] == ["lost-fsync"]
+    assert "'b'" in violations[0].detail
+
+
+def test_newer_version_is_fine():
+    env, cluster, fs, core, acked = _riofs_after_synced_writes()
+    recovered, _report = _recover(env, cluster, fs, core)
+    recovered.files["a"].version += 3  # IPU after the acked fsync
+    assert verify_acked_fsyncs(recovered, acked) == []
+
+
+def test_order_violations_translate_to_checker_form():
+    report = FsRecoveryReport(order_violations=[("a", 17)])
+    violations = order_violations_as_check(report)
+    assert len(violations) == 1
+    assert violations[0].kind == "order-hole"
+    assert "block 17" in violations[0].detail
+    assert order_violations_as_check(FsRecoveryReport()) == []

@@ -163,3 +163,67 @@ def test_stats_repr_mentions_root_and_counts(tmp_path):
     cache = ResultCache(root=tmp_path, version="v1")
     cache.get("00" * 32)
     assert "misses=1" in repr(cache)
+
+
+# ----------------------------------------------------------------------
+# Result-affecting environment overrides key the namespace
+# ----------------------------------------------------------------------
+
+
+def _clear_repro_env(monkeypatch):
+    for key in list(os.environ):
+        if key.startswith("REPRO_"):
+            monkeypatch.delenv(key, raising=False)
+
+
+def test_env_fingerprint_empty_without_overrides(monkeypatch):
+    _clear_repro_env(monkeypatch)
+    assert cache_mod.env_fingerprint() == ""
+
+
+def test_env_override_changes_code_version(monkeypatch):
+    # A cached number memoised under one engine floor must not be served
+    # under another: REPRO_* overrides fold into the namespace key.
+    _clear_repro_env(monkeypatch)
+    base = code_version()
+    monkeypatch.setenv("REPRO_ENGINE_FLOOR", "2")
+    floored = code_version()
+    assert floored != base
+    assert floored.startswith(base + "-")
+    monkeypatch.setenv("REPRO_ENGINE_FLOOR", "3")
+    assert code_version() not in (base, floored)
+
+
+def test_env_override_suffixes_pinned_version(monkeypatch):
+    _clear_repro_env(monkeypatch)
+    monkeypatch.setenv(cache_mod.ENV_CACHE_VERSION, "pinned")
+    assert code_version() == "pinned"
+    monkeypatch.setenv("REPRO_COST_KNOB", "fast")
+    assert code_version().startswith("pinned-")
+    assert code_version() != "pinned"
+
+
+def test_cache_location_and_version_vars_do_not_key_results(monkeypatch,
+                                                            tmp_path):
+    # REPRO_CACHE_DIR only relocates the store; REPRO_CACHE_VERSION is the
+    # namespace base itself.  Neither may perturb the fingerprint.
+    _clear_repro_env(monkeypatch)
+    base = cache_mod.env_fingerprint()
+    monkeypatch.setenv(cache_mod.ENV_CACHE_DIR, str(tmp_path))
+    monkeypatch.setenv(cache_mod.ENV_CACHE_VERSION, "v9")
+    assert cache_mod.env_fingerprint() == base
+
+
+def test_result_cache_separates_env_namespaces(monkeypatch, tmp_path):
+    _clear_repro_env(monkeypatch)
+    spec = RunSpec.make(noisy, x=11)
+    monkeypatch.setenv("REPRO_KNOB", "a")
+    cache_a = ResultCache(root=tmp_path)
+    assert cache_a.put(spec.digest(), {"x": "a"})
+    monkeypatch.setenv("REPRO_KNOB", "b")
+    cache_b = ResultCache(root=tmp_path)
+    hit, _value = cache_b.get(spec.digest())
+    assert not hit  # the env change started a fresh namespace
+    monkeypatch.setenv("REPRO_KNOB", "a")
+    hit, value = ResultCache(root=tmp_path).get(spec.digest())
+    assert hit and value == {"x": "a"}

@@ -34,3 +34,31 @@ def test_every_registered_figure_is_callable():
     for name, (fn, description, _takes_duration) in FIGURES.items():
         assert callable(fn), name
         assert description
+
+
+def test_check_green_matrix_exits_zero(capsys):
+    assert main(["check", "--systems", "linux", "--layouts", "optane",
+                 "--seeds", "0", "--streams", "1", "--groups", "2",
+                 "--writes", "1", "--depth", "1", "--max-points", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "all ordering invariants hold" in out
+    assert "linux" in out
+
+
+def test_check_unknown_system_raises():
+    import pytest
+
+    with pytest.raises(ValueError):
+        main(["check", "--systems", "zfs", "--seeds", "0"])
+
+
+def test_check_replay_roundtrip(tmp_path, capsys):
+    from repro.check import WorkloadSpec, check_workload, dump_reproducer
+
+    spec = WorkloadSpec(system="linux", streams=1, groups_per_stream=2,
+                        writes_per_group=1, depth=1, max_points=6)
+    path = tmp_path / "r.json"
+    dump_reproducer(path, check_workload(spec))
+    assert main(["check", "--replay", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "replayed" in out and "0 failing" in out

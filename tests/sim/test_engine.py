@@ -399,3 +399,95 @@ def test_simdeadlock_message_caps_listed_waiters():
         env.watch_liveness(env.event(), f"waiter {i}")
     with pytest.raises(SimDeadlock, match=r"\+4 more"):
         env.run()
+
+
+# ---------------------------------------------------------------------------
+# Timeout cancellation (watchdog-arm disarming)
+# ---------------------------------------------------------------------------
+
+
+def test_cancelled_timeout_never_fires():
+    env = Environment()
+    fired = []
+
+    def waiter(env, timeout):
+        value = yield timeout
+        fired.append(value)
+
+    timeout = env.timeout(1e-6, value="boom")
+    env.process(waiter(env, timeout))
+    timeout.cancel()
+    env.run()
+    assert fired == []
+    assert env.live_heap_size() == 0
+
+
+def test_cancel_after_fire_is_noop():
+    env = Environment()
+    timeout = env.timeout(1e-6, value=7)
+    results = []
+
+    def waiter(env):
+        results.append((yield timeout))
+
+    env.process(waiter(env))
+    env.run()
+    timeout.cancel()  # already processed: must not corrupt accounting
+    assert results == [7]
+    assert env.live_heap_size() == 0
+
+
+def test_cancel_skips_entry_without_advancing_clock():
+    env = Environment()
+    late = env.timeout(5e-6)
+    early = env.timeout(1e-6)
+    early.cancel()
+    assert env.peek() == pytest.approx(5e-6)
+    env.step()
+    assert env.now == pytest.approx(5e-6)
+    assert late.processed
+
+
+def test_watchdog_pattern_does_not_accumulate_heap_entries():
+    # The initiator-watchdog shape: any_of([done, expiry]) where done wins
+    # and the loser expiry is cancelled.  The heap must stay flat instead
+    # of retaining one armed timer per completed iteration.
+    env = Environment()
+
+    def one_arm(env):
+        done = env.event()
+        expiry = env.timeout(1e-3)
+
+        def complete(env):
+            yield env.timeout(1e-6)
+            done.succeed()
+
+        env.process(complete(env))
+        yield env.any_of([done, expiry])
+        assert done.triggered
+        expiry.cancel()
+
+    def driver(env):
+        for _ in range(200):
+            yield env.process(one_arm(env))
+
+    env.process(driver(env))
+    env.run()
+    assert env.live_heap_size() == 0
+    # Lazy compaction must have swept the dead entries in bulk: the heap
+    # cannot still hold anywhere near one stale entry per iteration.
+    assert len(env._heap) < 100
+
+
+def test_cancelled_heap_compaction_keeps_live_entries():
+    env = Environment()
+    keep = env.timeout(1.0)
+    doomed = [env.timeout(0.5) for _ in range(200)]
+    for timeout in doomed:
+        timeout.cancel()
+    # Compaction triggered along the way; the live entry must survive.
+    assert env.live_heap_size() == 1
+    assert len(env._heap) < 200
+    env.run()
+    assert keep.processed
+    assert env.now == pytest.approx(1.0)

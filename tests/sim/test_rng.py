@@ -55,6 +55,37 @@ def test_choice_and_shuffle():
     assert sorted(shuffled) == items
 
 
+def test_fork_collision_resistant():
+    # The old derivation (seed * K + hash_str(name), masked to 63 bits)
+    # was affine in the seed with K odd — hence invertible mod 2**63 — so
+    # for any two names a second seed could be constructed whose fork of
+    # name_b collided with seed_a's fork of name_a.  Reconstruct such an
+    # engineered collision and require the forks to differ now.
+    k, mask = 1_000_003, (1 << 63) - 1
+    name_a, name_b, seed_a = "fabric", "target0-ssd0", 42
+    old_a = (seed_a * k + hash_str(name_a)) & mask
+    seed_b = ((old_a - hash_str(name_b)) * pow(k, -1, 1 << 63)) & mask
+    assert (seed_b * k + hash_str(name_b)) & mask == old_a  # old scheme collided
+    fork_a = DeterministicRNG(seed_a).fork(name_a)
+    fork_b = DeterministicRNG(seed_b).fork(name_b)
+    assert [fork_a.random() for _ in range(8)] != [
+        fork_b.random() for _ in range(8)
+    ]
+
+
+def test_fork_distinct_across_names_and_seeds():
+    seeds = [0, 1, 7, 42, 2**40 + 5]
+    names = ["fabric", "chaos-plan", "target0-ssd0", "target1-ssd1", "a", "b"]
+    streams = {
+        (seed, name): tuple(
+            DeterministicRNG(seed).fork(name).random() for _ in range(4)
+        )
+        for seed in seeds
+        for name in names
+    }
+    assert len(set(streams.values())) == len(streams)
+
+
 def test_hash_str_is_stable():
     assert hash_str("rio") == hash_str("rio")
     assert hash_str("rio") != hash_str("riofs")
