@@ -19,6 +19,7 @@ from repro.harness.chaos import (
     measure_degradation,
     run_chaos_suite,
     run_chaos_trial,
+    run_scale_chaos_trial,
 )
 
 SYSTEMS = ("rio", "horae", "linux")
@@ -78,6 +79,65 @@ def test_chaos_smoke(benchmark):
     results = run_once(benchmark, smoke)
     for result in results:
         assert_trial_ok(result)
+
+
+def test_multi_initiator_qp_breakdown_spares_bystander(benchmark):
+    """Blast-radius containment on the scale-out plane: a QP breakdown on
+    initiator host 0 must not stall or reorder the streams owned by host 1.
+
+    Each seeded trial runs twice — fault-free baseline, then with a
+    breakdown-only plan confined to host 0's queue pairs — and the
+    bystander host's streams (odd stream ids, since stream ``s`` lives on
+    host ``s % 2``) must complete in the identical order and essentially
+    the identical time, while host 0 visibly reconnects and recovers.
+    """
+    seeds = (4242, 2001, 2002)
+
+    def trials():
+        return [
+            (
+                run_scale_chaos_trial(system="rio", seed=seed, faults=False),
+                run_scale_chaos_trial(system="rio", seed=seed, faults=True),
+            )
+            for seed in seeds
+        ]
+
+    def bystander_makespan(result):
+        return max(
+            (t for s, _g, t in result.completion_log if s % 2 == 1),
+            default=0.0,
+        )
+
+    for baseline, faulted in run_once(benchmark, trials):
+        # The faulted run upholds every chaos invariant cluster-wide.
+        assert not faulted.deadlocked, faulted.deadlock_reason
+        assert faulted.completed_groups == faulted.total_groups
+        assert faulted.completion_order_violations == [], faulted.summary()
+        assert faulted.duplicate_applies == [], faulted.summary()
+        assert faulted.submission_order_violations == [], faulted.summary()
+        assert faulted.errors == [], faulted.summary()
+        assert faulted.leak_error == "", faulted.leak_error
+        # The fault actually landed — on the victim host only.
+        assert faulted.fault_counts.get("qp_breakdown", 0) >= 1
+        assert faulted.node_reconnects[0] >= 1, faulted.summary()
+        assert faulted.node_reconnects[1] == 0, faulted.summary()
+        assert faulted.node_retries[1] == 0, faulted.summary()
+        # Bystander streams: identical per-stream completion sequences
+        # (cross-stream interleave may shift — the hosts share targets —
+        # but each stream's own order and contents must match) ...
+        def per_stream(result):
+            out = {}
+            for s, g, _t in result.completion_log:
+                if s % 2 == 1:
+                    out.setdefault(s, []).append(g)
+            return out
+
+        assert per_stream(faulted) == per_stream(baseline)
+        # ... and no stall:
+        assert bystander_makespan(faulted) <= (
+            bystander_makespan(baseline) * 1.10 + 20e-6
+        )
+    benchmark.extra_info["seeds"] = len(seeds)
 
 
 def test_graceful_degradation_and_recovery(benchmark):

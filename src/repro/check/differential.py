@@ -219,6 +219,7 @@ def check_cell(
     depth: int = 2,
     flush_every: int = 2,
     max_points: int = 0,
+    initiators: int = 1,
 ) -> dict:
     """One (system, layout, seed) check as a cacheable sweep cell."""
     spec = WorkloadSpec(
@@ -231,5 +232,6 @@ def check_cell(
         depth=depth,
         flush_every=flush_every,
         max_points=max_points,
+        initiators=initiators,
     )
     return check_workload(spec).as_dict()

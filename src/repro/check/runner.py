@@ -28,6 +28,7 @@ from repro.harness.sweep import RunSpec, SweepRunner
 
 __all__ = [
     "DEFAULT_MATRIX",
+    "SCALE_MATRIX",
     "DEFAULT_SEEDS",
     "MatrixResult",
     "build_matrix_specs",
@@ -43,6 +44,17 @@ DEFAULT_MATRIX: Dict[str, Tuple[str, ...]] = {
 }
 
 DEFAULT_SEEDS: Tuple[int, ...] = (0, 1, 2)
+
+#: system -> (layout, initiators) cells checked on the sharded
+#: multi-initiator cluster (:mod:`repro.scale`): the same order oracle,
+#: but with streams fanned in from several initiator hosts, so
+#: cross-host sharding, per-flow steering and coordinator recovery are
+#: all under the crash fuzzer too.  Layouts here have >= 2 targets so
+#: fan-in crosses real target boundaries.
+SCALE_MATRIX: Dict[str, Tuple[Tuple[str, int], ...]] = {
+    "rio": (("2optane-2targets", 2),),
+    "horae": (("2optane-2targets", 2),),
+}
 
 
 @dataclass
@@ -121,6 +133,13 @@ def build_matrix_specs(
                     WorkloadSpec(system=system, layout=layout,
                                  seed=seed, **shape)
                 )
+        if layouts is None:
+            for layout, initiators in SCALE_MATRIX.get(system, ()):
+                for seed in seeds:
+                    specs.append(
+                        WorkloadSpec(system=system, layout=layout, seed=seed,
+                                     initiators=initiators, **shape)
+                    )
     return specs
 
 
@@ -136,8 +155,12 @@ def run_check_matrix(
 
     runner = runner or SweepRunner(jobs=1)
     run_specs = [
-        RunSpec.make(check_cell, label=f"check:{spec.system}/{spec.layout}",
-                     **spec.to_dict())
+        RunSpec.make(
+            check_cell,
+            label=(f"check:{spec.system}/{spec.layout}"
+                   + (f"/x{spec.initiators}" if spec.initiators > 1 else "")),
+            **spec.to_dict(),
+        )
         for spec in specs
     ]
     reports = runner.map(run_specs)

@@ -49,6 +49,9 @@ class WorkloadSpec:
     flush_every: int = 2
     #: Cap on enumerated crash points (0 = every persistence event).
     max_points: int = 0
+    #: Initiator hosts; > 1 builds a sharded multi-initiator cluster
+    #: (:mod:`repro.scale`) so ordering is fuzzed under fan-in.
+    initiators: int = 1
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -127,8 +130,25 @@ def build_testbed(spec: WorkloadSpec):
     The same spec always yields byte-identical component names and jitter
     streams, which is what makes snapshot restore into a *fresh* testbed a
     faithful crash model.
+
+    ``spec.initiators > 1`` builds a sharded multi-initiator cluster
+    instead: N initiator hosts fan in to the layout's targets, streams
+    are sharded across hosts by residue (stream ``s`` on host ``s % N``),
+    and recovery runs once from the coordinator (host 0) — the same
+    order oracle then validates ordering under fan-in.
     """
     env = Environment()
+    if spec.initiators > 1:
+        from repro.harness.experiment import LAYOUTS
+        from repro.scale import ScaleOutCluster, ShardedStack
+
+        cluster = ScaleOutCluster(
+            env, LAYOUTS[spec.layout], num_initiators=spec.initiators,
+            seed=spec.seed,
+        )
+        stack = ShardedStack(cluster, spec.system,
+                             num_streams=max(spec.streams, 1))
+        return env, cluster, stack
     cluster = build_cluster(spec.layout, env=env, seed=spec.seed)
     stack = make_stack(spec.system, cluster, num_streams=max(spec.streams, 1))
     return env, cluster, stack

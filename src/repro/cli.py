@@ -83,7 +83,15 @@ FIGURES: Dict[str, tuple] = {
                 "BarrierFS-style interface comparison (§2.2)", True),
     "oltp": (lambda **kw: extensions.oltp_comparison(**kw),
              "MySQL-style OLTP on the three file systems", True),
+    "saturate": (lambda **kw: _saturation_curves(**kw),
+                 "scale-out saturation: throughput-latency curves", True),
 }
+
+
+def _saturation_curves(**kwargs):
+    from repro.harness.saturate import saturation_curves
+
+    return saturation_curves(**kwargs)
 
 
 def _run_one(name: str, duration: Optional[float],
@@ -190,6 +198,44 @@ def main(argv=None) -> int:
                      "cell into DIR")
     chk.add_argument("--replay", default=None, metavar="FILE",
                      help="re-run a dumped reproducer instead of the matrix")
+    sat = sub.add_parser(
+        "saturate",
+        help="offered-load saturation sweep over the sharded "
+        "multi-initiator cluster (throughput-latency + busy-cores curves)",
+    )
+    sat.add_argument("--systems", default=None,
+                     help="comma-separated systems (default: "
+                     "linux,horae,rio,barrier)")
+    sat.add_argument("--loads", default=None,
+                     help="comma-separated offered loads in kIOPS, "
+                     "ascending (default: 25,50,100,200,400,800)")
+    sat.add_argument("--layout", default="optane",
+                     help="hardware layout (see harness LAYOUTS; must be "
+                     "single-SSD when sweeping barrier)")
+    sat.add_argument("--initiators", type=int, default=2,
+                     help="initiator hosts fanning into the targets")
+    sat.add_argument("--tenants", type=int, default=4,
+                     help="load-generator tenants (one stream each)")
+    sat.add_argument("--duration", type=float, default=2e-3,
+                     help="virtual seconds of measured window per cell")
+    sat.add_argument("--steering", default="pin",
+                     choices=("pin", "round-robin", "least-loaded",
+                              "flow-hash"),
+                     help="target/initiator IRQ+completion steering policy")
+    sat.add_argument("--seed", type=int, default=42)
+    sat.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for the load-grid cells")
+    sat_cache = sat.add_mutually_exclusive_group()
+    sat_cache.add_argument("--cache", dest="cache", action="store_true",
+                           default=True,
+                           help="memoize results on disk (default)")
+    sat_cache.add_argument("--no-cache", dest="cache", action="store_false",
+                           help="always recompute; touch no cache files")
+    sat.add_argument("--cache-dir", default=None,
+                     help="cache root (default: results/.cache, or "
+                     "$REPRO_CACHE_DIR)")
+    sat.add_argument("--format", choices=("table", "markdown"),
+                     default="table", help="output format")
     trace = sub.add_parser(
         "trace", help="export request-lifecycle spans as a Chrome trace"
     )
@@ -261,6 +307,41 @@ def main(argv=None) -> int:
             print(f"reproducer -> {path}")
         print(f"[check: {runner.stats.summary()}]")
         return 0 if result.ok else 1
+
+    if args.command == "saturate":
+        from repro.harness import sweep as sweep_mod
+        from repro.harness.cache import ResultCache
+        from repro.harness.saturate import (
+            DEFAULT_LOADS_KIOPS,
+            SATURATE_SYSTEMS,
+            saturation_curves,
+        )
+
+        systems = (args.systems.split(",") if args.systems
+                   else list(SATURATE_SYSTEMS))
+        loads = ([float(v) for v in args.loads.split(",") if v != ""]
+                 if args.loads else list(DEFAULT_LOADS_KIOPS))
+        cache = ResultCache(root=args.cache_dir) if args.cache else None
+        runner = sweep_mod.configure(jobs=args.jobs, cache=cache)
+        started = time.time()
+        result = saturation_curves(
+            systems=systems, loads_kiops=loads, layout=args.layout,
+            initiators=args.initiators, tenants=args.tenants,
+            duration=args.duration, steering=args.steering, seed=args.seed,
+        )
+        if args.format == "markdown":
+            print(result.render_markdown())
+        else:
+            print(result.render())
+        line = (f"[saturate: {runner.stats.summary()}; "
+                f"{time.time() - started:.1f}s wall")
+        if cache is not None:
+            line += (f"; cache {cache.root}/{cache.version}: "
+                     f"{cache.hits} hit(s)]")
+        else:
+            line += "; cache disabled]"
+        print(line)
+        return 0
 
     if args.command == "trace":
         from repro.harness.obs import traced_fsync_run

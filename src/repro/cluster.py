@@ -67,12 +67,15 @@ class Cluster:
         transport: str = "rdma",
         pmr_size: Optional[int] = None,
         hardening: Optional[DriverHardening] = None,
+        steering: str = "pin",
+        qp_steering: str = "pin",
     ):
         if not target_ssds:
             raise ValueError("need at least one target server")
         self.env = env
         self.costs = costs
         self.transport = transport
+        self.steering = steering
         self.rng = DeterministicRNG(seed)
         num_qps = num_qps or initiator_cores
 
@@ -83,7 +86,8 @@ class Cluster:
             nic=Nic(env, name="initiator-nic"),
         )
         self.driver = InitiatorDriver(
-            env, self.initiator, costs=costs, hardening=hardening
+            env, self.initiator, costs=costs, hardening=hardening,
+            steering=steering,
         )
         self.fabric = Fabric(env, self.rng.fork("fabric"), transport=transport)
 
@@ -114,6 +118,7 @@ class Cluster:
                     name=f"{name}-pmr",
                 ),
                 costs=costs,
+                steering=steering,
             )
             qps = self.fabric.connect(self.initiator.nic, target.nic, num_qps)
             initiator_eps = [qp.endpoints[0] for qp in qps]
@@ -123,7 +128,8 @@ class Cluster:
             self.targets.append(target)
             for sid in range(len(ssds)):
                 self.namespaces.append(
-                    RemoteNamespace(target, nsid=sid, endpoints=initiator_eps)
+                    RemoteNamespace(target, nsid=sid, endpoints=initiator_eps,
+                                    qp_steering=qp_steering)
                 )
 
     # ------------------------------------------------------------------

@@ -46,6 +46,8 @@ __all__ = [
     "chaos_suite_sweep",
     "run_chaos_suite",
     "measure_degradation",
+    "build_scale_fault_plan",
+    "run_scale_chaos_trial",
 ]
 
 #: Hardening profile used by every chaos trial: generous retry budget so
@@ -107,6 +109,10 @@ class ChaosResult:
     #: value here means commands are leaking armed timers (see
     #: ``Timeout.cancel``).
     heap_live_entries: int = 0
+    #: Multi-initiator trials only: per-node driver reconnect/retry
+    #: counts, indexed by initiator host (empty for single-host trials).
+    node_reconnects: List[int] = field(default_factory=list)
+    node_retries: List[int] = field(default_factory=list)
 
     @property
     def total_groups(self) -> int:
@@ -437,3 +443,173 @@ def measure_degradation(
         "completed": float(result.completed_groups),
         "total": float(result.total_groups),
     }
+
+
+# ----------------------------------------------------------------------
+# Multi-initiator (scale-out) chaos
+# ----------------------------------------------------------------------
+
+
+def build_scale_fault_plan(
+    seed: int,
+    victim_qp_range: Tuple[int, int],
+    horizon: float = 200e-6,
+) -> FaultPlan:
+    """A breakdown-only plan confined to one initiator host's queue pairs.
+
+    ``victim_qp_range`` is the half-open ``[lo, hi)`` slice of
+    ``fabric.queue_pairs`` owned by the victim host (hosts connect in
+    index order, so host ``i`` owns one contiguous run of QP indices).
+    No probabilistic loss is injected: the bystander hosts' fabric paths
+    stay fault-free by construction, which is exactly what makes the
+    blast-radius assertions in ``benchmarks/test_chaos.py`` sharp.
+    """
+    lo, hi = victim_qp_range
+    if hi <= lo:
+        raise ValueError("victim owns no queue pairs")
+    rng = DeterministicRNG(seed).fork("scale-chaos-plan")
+    plan = FaultPlan(seed=seed * 7919 + 29)
+    for _ in range(rng.randint(1, 2)):
+        plan.qp_breakdown(
+            at=rng.uniform(0.15 * horizon, 0.75 * horizon),
+            qp_index=rng.randint(lo, hi - 1),
+        )
+    return plan
+
+
+def run_scale_chaos_trial(
+    system: str = "rio",
+    seed: int = 0,
+    layout: str = "optane",
+    initiators: int = 2,
+    victim: int = 0,
+    threads: int = 4,
+    groups_per_thread: int = 12,
+    writes_per_group: int = 2,
+    depth: int = 4,
+    limit: float = 50e-3,
+    faults: bool = True,
+    trace: bool = True,
+) -> ChaosResult:
+    """One seeded multi-initiator trial: break QPs on one host only.
+
+    Builds a sharded scale-out cluster (:mod:`repro.scale`) with
+    ``initiators`` hosts fanning in to the layout's targets, runs the
+    usual ordered workload (stream ``s`` lives on host ``s % N``), and —
+    when ``faults`` — installs a breakdown-only plan aimed at the
+    ``victim`` host's queue pairs.  ``faults=False`` runs the identical
+    seeded trial fault-free, giving tests a baseline to bound the
+    bystander hosts' completion times against.  Per-host driver activity
+    lands in ``node_reconnects`` / ``node_retries``.
+    """
+    from repro.scale import ScaleOutCluster, ShardedStack
+
+    env = Environment()
+    if trace:
+        env.tracer = Tracer(categories={"fault", "driver", "rio.gate"})
+    num_qps = max(threads, 2)
+    cluster = ScaleOutCluster(
+        env,
+        LAYOUTS[layout],
+        num_initiators=initiators,
+        initiator_cores=max(threads, 2),
+        target_cores=8,
+        num_qps=num_qps,
+        seed=seed,
+        hardening=CHAOS_HARDENING,
+    )
+    stack = ShardedStack(cluster, system, num_streams=threads)
+    plan: Optional[FaultPlan] = None
+    if faults:
+        qps_per_node = len(cluster.fabric.queue_pairs) // initiators
+        plan = build_scale_fault_plan(
+            seed,
+            (victim * qps_per_node, (victim + 1) * qps_per_node),
+        )
+        plan.install(cluster)
+
+    result = ChaosResult(
+        system=system,
+        seed=seed,
+        threads=threads,
+        groups_per_thread=groups_per_thread,
+    )
+    total = threads * groups_per_thread
+    all_done = Event(env)
+    bios: List = []
+
+    def on_group_done(stream: int, group: int):
+        def callback(event: Event) -> None:
+            result.completion_log.append((stream, group, env.now))
+            bio = getattr(event, "bio", None)
+            if bio is not None:
+                bios.append((stream, group, bio))
+            if len(result.completion_log) == total and not all_done.triggered:
+                all_done.succeed()
+
+        return callback
+
+    for thread_id in range(threads):
+        env.process(
+            _ordered_workload(
+                env,
+                cluster,
+                stack,
+                thread_id,
+                groups_per_thread,
+                writes_per_group,
+                depth,
+                on_group_done,
+            )
+        )
+
+    try:
+        env.run_until_event(all_done, limit=limit)
+    except SimulationError as exc:  # includes SimDeadlock
+        result.deadlocked = True
+        result.deadlock_reason = f"{type(exc).__name__}: {exc}"
+
+    result.completed_groups = len(result.completion_log)
+    result.elapsed = env.now
+    result.heap_live_entries = env.live_heap_size()
+
+    # -- audits (same invariants as the single-host trial) -------------
+    if system in ("rio", "linux"):
+        per_stream: Dict[int, List[int]] = {}
+        for stream, group, _t in result.completion_log:
+            per_stream.setdefault(stream, []).append(group)
+        for stream, order in sorted(per_stream.items()):
+            if order != sorted(order):
+                result.completion_order_violations.append((stream, order))
+    for stream, group, bio in bios:
+        if bio.status:
+            result.errors.append((stream, group, bio.status))
+    for target in cluster.targets:
+        result.duplicate_applies.extend(target.duplicate_applies())
+        result.submission_order_violations.extend(
+            target.submission_order_violations()
+        )
+        result.duplicates_suppressed += target.duplicates_suppressed
+    if not result.deadlocked:
+        for node in cluster.nodes:
+            try:
+                node.driver.assert_no_leaks()
+            except AssertionError as exc:
+                result.leak_error = f"node {node.index}: {exc}"
+
+    if plan is not None:
+        result.fault_counts = plan.counts()
+        result.messages_dropped = plan.messages_dropped
+        result.messages_corrupted = plan.messages_corrupted
+        result.messages_delayed = plan.messages_delayed
+    for node in cluster.nodes:
+        result.node_reconnects.append(node.driver.reconnects)
+        result.node_retries.append(node.driver.retries)
+        result.retries += node.driver.retries
+        result.rpc_retries += node.driver.rpc_retries
+        result.reconnects += node.driver.reconnects
+        result.commands_resubmitted += node.driver.commands_resubmitted
+        result.commands_timed_out += node.driver.commands_timed_out
+    if env.tracer is not None:
+        result.trace_events = len(env.tracer.events)
+    return result

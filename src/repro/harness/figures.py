@@ -777,6 +777,8 @@ def recovery_table(
                                           run_before_crash, seed))
 
 
+from repro.harness.saturate import saturation_sweep  # noqa: E402
+
 #: Every figure's sweep builder, for ``repro sweep`` and the tests.
 SWEEP_BUILDERS = {
     "fig02": fig02_motivation_sweep,
@@ -789,4 +791,5 @@ SWEEP_BUILDERS = {
     "fig15a": fig15a_varmail_sweep,
     "fig15b": fig15b_rocksdb_sweep,
     "recovery": recovery_table_sweep,
+    "saturate": saturation_sweep,
 }

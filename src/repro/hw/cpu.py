@@ -14,13 +14,20 @@ efficiency" is operations per second per busy core.
 
 from __future__ import annotations
 
-from typing import List, Optional
+import hashlib
+from typing import List, Optional, Sequence
 
 from repro.sim.engine import Environment
 from repro.sim.resources import Resource
 from repro.sim.stats import BusyTracker
 
-__all__ = ["Core", "CpuSet", "CONTEXT_SWITCH_COST"]
+__all__ = [
+    "Core",
+    "CoreSteering",
+    "CpuSet",
+    "CONTEXT_SWITCH_COST",
+    "STEERING_POLICIES",
+]
 
 #: One sleep/wake transition on a ~2.2 GHz Xeon (seconds).  Synchronous
 #: ordering pays two of these per wait; this is part of the per-operation
@@ -66,6 +73,86 @@ class Core:
         return f"<Core {self.index}>"
 
 
+#: Affinity-aware IRQ/completion steering policies (scale-out plane).
+STEERING_POLICIES = ("pin", "round-robin", "least-loaded", "flow-hash")
+
+
+def _flow_hash(key: int) -> int:
+    """Stable 64-bit scatter of a flow key.
+
+    Python's ``hash(int)`` is (nearly) the identity, which would collapse
+    flow-hash steering into modulo pinning; blake2b gives an
+    avalanche-quality spread that is identical across processes and runs
+    (no ``PYTHONHASHSEED`` dependence), which the bit-identity guarantees
+    of the sweep runner rely on.
+    """
+    digest = hashlib.blake2b(
+        key.to_bytes(8, "little", signed=True), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+class CoreSteering:
+    """Maps flow keys to cores of a fixed subset under one policy.
+
+    The target and initiator drivers ask "which core takes this
+    interrupt?" once per message; the answer is this object's
+    :meth:`select`.  Policies:
+
+    ``pin``
+        ``cores[key % n]`` — static modulo pinning, the historical
+        behaviour (one flow, one core, forever).  Deterministic per key.
+    ``round-robin``
+        Cores in rotation regardless of key: spreads load evenly but
+        migrates flows across cores (cold caches, no IRQ coalescing).
+    ``least-loaded``
+        The core with the shortest run queue at selection time (ties:
+        lowest index) — work-stealing-style balance.
+    ``flow-hash``
+        ``cores[blake2b(key) % n]`` — RSS-style hashing: flows stay
+        pinned (coalescing still works) but hot neighbouring keys spread
+        instead of striding.
+    """
+
+    def __init__(self, cores: Sequence[Core], policy: str = "pin"):
+        if not cores:
+            raise ValueError("steering needs at least one core")
+        if policy not in STEERING_POLICIES:
+            raise ValueError(
+                f"unknown steering policy {policy!r}; "
+                f"one of {STEERING_POLICIES}"
+            )
+        self.cores = list(cores)
+        self.policy = policy
+        self._rr_next = 0
+        #: selections per core index — observability for the saturation
+        #: harness and the property suite.
+        self.selections: dict = {}
+
+    def select(self, key: int) -> Core:
+        """The core that handles the message with flow key ``key``."""
+        n = len(self.cores)
+        if self.policy == "pin":
+            core = self.cores[key % n]
+        elif self.policy == "round-robin":
+            core = self.cores[self._rr_next % n]
+            self._rr_next += 1
+        elif self.policy == "least-loaded":
+            core = min(
+                self.cores, key=lambda c: (c.queued_work, c.index)
+            )
+        else:  # flow-hash
+            core = self.cores[_flow_hash(key) % n]
+        self.selections[core.index] = self.selections.get(core.index, 0) + 1
+        return core
+
+    def __repr__(self) -> str:
+        return (
+            f"<CoreSteering {self.policy} over "
+            f"{len(self.cores)} core(s)>"
+        )
+
+
 class CpuSet:
     """All cores of one server.
 
@@ -99,6 +186,12 @@ class CpuSet:
     def least_loaded(self) -> Core:
         """The core with the shortest run queue (ties: lowest index)."""
         return min(self.cores, key=lambda core: (core.queued_work, core.index))
+
+    def steering(
+        self, policy: str = "pin", cores: Optional[Sequence[Core]] = None
+    ) -> CoreSteering:
+        """A :class:`CoreSteering` over ``cores`` (default: all of them)."""
+        return CoreSteering(cores if cores is not None else self.cores, policy)
 
     # -- measurement -------------------------------------------------------
 

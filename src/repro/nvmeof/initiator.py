@@ -129,20 +129,46 @@ class RemoteNamespace:
 
     Bundles the target server, the namespace id on that target, and the
     initiator-side queue-pair endpoints of the connection to that target.
+
+    ``qp_steering`` selects how block-layer queue indices map onto queue
+    pairs: ``"pin"`` (default) is the historical modulo mapping, and
+    ``"flow-hash"`` scatters flows RSS-style while keeping each flow on
+    one QP.  Both are *stable per flow key* — which is what ordered
+    streams need, since per-QP FIFO delivery is Rio's Principle 2.
+    (``"round-robin"``/``"least-loaded"`` are rejected here: migrating a
+    stream between QPs mid-flight forfeits FIFO delivery, so they are
+    only meaningful for target-side interrupt steering.)
     """
 
-    def __init__(self, target, nsid: int, endpoints: List[QpEndpoint]):
+    def __init__(
+        self,
+        target,
+        nsid: int,
+        endpoints: List[QpEndpoint],
+        qp_steering: str = "pin",
+    ):
         if not endpoints:
             raise ValueError("a namespace needs at least one queue pair")
+        if qp_steering not in ("pin", "flow-hash"):
+            raise ValueError(
+                f"qp_steering must be 'pin' or 'flow-hash', "
+                f"not {qp_steering!r} (ordered streams need a stable "
+                f"per-flow queue pair)"
+            )
         self.target = target
         self.nsid = nsid
         self.endpoints = endpoints
+        self.qp_steering = qp_steering
 
     @property
     def num_queues(self) -> int:
         return len(self.endpoints)
 
     def endpoint_for(self, qp_index: int) -> QpEndpoint:
+        if self.qp_steering == "flow-hash":
+            from repro.hw.cpu import _flow_hash
+
+            return self.endpoints[_flow_hash(qp_index) % len(self.endpoints)]
         return self.endpoints[qp_index % len(self.endpoints)]
 
     def __repr__(self) -> str:
@@ -158,11 +184,16 @@ class InitiatorDriver:
         server: InitiatorServer,
         costs: CpuCosts = DEFAULT_COSTS,
         hardening: Optional[DriverHardening] = None,
+        steering: str = "pin",
     ):
         self.env = env
         self.server = server
         self.costs = costs
         self.hardening = hardening if hardening is not None else DriverHardening()
+        #: Completion-IRQ steering over the host's cores.  ``pin`` with
+        #: flow key = per-connection endpoint index reproduces the
+        #: historical ``cpus.pick(index)`` assignment bit-exactly.
+        self.irq_steering = server.cpus.steering(steering)
         self._cids = count(1)
         self._rpc_ids = count(1)
         self._pending: Dict[int, _PendingCommand] = {}
@@ -199,12 +230,12 @@ class InitiatorDriver:
             if id(endpoint) in self._registered_endpoints:
                 continue
             self._registered_endpoints.add(id(endpoint))
-            irq_core = self.server.cpus.pick(index)
-            endpoint.set_receive_handler(self._make_handler(irq_core))
+            endpoint.set_receive_handler(self._make_handler(index))
             endpoint.qp.on_breakdown(self._on_qp_breakdown)
 
-    def _make_handler(self, irq_core: Core):
+    def _make_handler(self, flow: int):
         def handler(message: Message):
+            irq_core = self.irq_steering.select(flow)
             yield from self._handle_response(irq_core, message)
 
         return handler

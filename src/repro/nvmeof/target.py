@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.hw.cpu import Core, CpuSet
+from repro.hw.cpu import Core, CoreSteering, CpuSet
 from repro.hw.nic import Nic
 from repro.hw.pmr import PersistentMemoryRegion
 from repro.hw.ssd import CrashedError, DiskIO, NvmeSsd
@@ -120,6 +120,7 @@ class TargetServer:
         ssds: List[NvmeSsd],
         pmr: Optional[PersistentMemoryRegion] = None,
         costs: CpuCosts = DEFAULT_COSTS,
+        steering: str = "pin",
     ):
         if not ssds:
             raise ValueError("a target server needs at least one SSD")
@@ -130,6 +131,18 @@ class TargetServer:
         self.ssds = ssds
         self.pmr = pmr if pmr is not None else PersistentMemoryRegion(env)
         self.costs = costs
+        # IRQ/completion steering (scale-out plane): receive IRQs land on
+        # the lower half of the cores, SSD-completion vectors on the upper
+        # half — separate subsets, so a flooded receive path cannot starve
+        # completions.  ``pin`` with flow key = global endpoint index
+        # reproduces the historical static assignment
+        # (``pick(i % half)`` / ``pick(half + i % half)``) bit-exactly.
+        half = max(1, len(cpus) // 2)
+        irq_cores = cpus.cores[:half]
+        completion_cores = cpus.cores[half:2 * half] or irq_cores
+        self.steering_policy = steering
+        self.irq_steering = CoreSteering(irq_cores, steering)
+        self.completion_steering = CoreSteering(completion_cores, steering)
         self.policy: TargetPolicy = TargetPolicy()
         self.crashed = False
         self.endpoints: List[QpEndpoint] = []
@@ -152,14 +165,16 @@ class TargetServer:
         policy.attach(self)
 
     def attach_connection(self, endpoints: List[QpEndpoint]) -> None:
-        """Register receive handling for target-side QP endpoints."""
+        """Register receive handling for target-side QP endpoints.
+
+        The flow key of each endpoint is its *global* index across every
+        attached connection, so two initiators fanning into one target
+        land on staggered cores rather than re-colliding on core 0.
+        """
         base = len(self.endpoints)
-        half = max(1, len(self.cpus) // 2)
         for offset, endpoint in enumerate(endpoints):
-            irq_core = self.cpus.pick((base + offset) % half)
-            completion_core = self.cpus.pick(half + (base + offset) % half)
             endpoint.set_receive_handler(
-                self._make_handler(endpoint, irq_core, completion_core)
+                self._make_handler(endpoint, base + offset)
             )
             self.endpoints.append(endpoint)
 
@@ -242,25 +257,25 @@ class TargetServer:
     # Message handling
     # ------------------------------------------------------------------
 
-    def _make_handler(
-        self, endpoint: QpEndpoint, irq_core: Core, completion_core: Core
-    ):
+    def _make_handler(self, endpoint: QpEndpoint, flow: int):
         def handler(message: Message):
-            yield from self._handle_message(
-                endpoint, irq_core, completion_core, message
-            )
+            yield from self._handle_message(endpoint, flow, message)
 
         return handler
 
     def _handle_message(
         self,
         endpoint: QpEndpoint,
-        core: Core,
-        completion_core: Core,
+        flow: int,
         message: Message,
     ):
         if self.crashed:
             return
+        # Steer per message: static policies (pin, flow-hash) resolve to
+        # the same core every time, dynamic ones (round-robin,
+        # least-loaded) re-decide at interrupt time.
+        core = self.irq_steering.select(flow)
+        completion_core = self.completion_steering.select(flow)
         if self._stall_done is not None and not self._stall_done.triggered:
             yield self._stall_done  # wedged target: park until it recovers
             if self.crashed:

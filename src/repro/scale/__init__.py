@@ -1,0 +1,39 @@
+"""Scale-out plane: sharded multi-initiator clusters + load generators.
+
+The paper's headline claim is CPU-efficient ordering *at scale* (§3.2,
+§6, Figs. 10-12); this package is the fan-in testbed that claim is
+exercised on:
+
+* :mod:`repro.scale.cluster` — :class:`ScaleOutCluster` (N initiator
+  hosts, each with its own CPU set, block layer and NVMe-oF driver,
+  fanning into M shared targets over one fabric, with per-core
+  connection sharding and IRQ/completion steering) and
+  :class:`ShardedStack` (one ordered-stack facade over the per-node
+  stacks, routing global streams to their owning node).
+* :mod:`repro.scale.loadgen` — open-loop (fixed-rate Poisson) and
+  closed-loop (think-time-bounded) per-tenant load generators that
+  drive a :class:`ShardedStack` and record completion latencies.
+
+The saturation experiment over this plane lives in
+:mod:`repro.harness.saturate` (``repro saturate``).
+"""
+
+from repro.scale.cluster import ScaleNode, ScaleOutCluster, ShardedStack
+from repro.scale.loadgen import (
+    ClosedLoopConfig,
+    LoadgenResult,
+    OpenLoopConfig,
+    run_closed_loop,
+    run_open_loop,
+)
+
+__all__ = [
+    "ScaleNode",
+    "ScaleOutCluster",
+    "ShardedStack",
+    "OpenLoopConfig",
+    "ClosedLoopConfig",
+    "LoadgenResult",
+    "run_open_loop",
+    "run_closed_loop",
+]

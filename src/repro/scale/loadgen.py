@@ -1,0 +1,267 @@
+"""Open- and closed-loop load generators for the scale-out plane.
+
+Two canonical load models from queueing practice:
+
+* **Open loop** (:func:`run_open_loop`) — arrivals are a fixed-rate
+  Poisson process, independent of completions.  Latency is measured from
+  the *intended arrival time*, so queueing delay counts: past the
+  saturation knee the arrival queue grows and tail latency explodes —
+  exactly the throughput-latency hockey stick ``repro saturate`` plots.
+* **Closed loop** (:func:`run_closed_loop`) — each tenant keeps a bounded
+  number of groups in flight and waits (plus exponential think time)
+  before issuing the next, so offered load self-limits to completion
+  rate, like the paper's FIO jobs at fixed queue depth.
+
+Tenants reuse the :mod:`repro.apps` workload shapes (``rand``/``seq``
+write patterns and the §3.1 ``journal`` 2-block + 1-block commit shape),
+each on a private LBA area and a private stream — one tenant, one
+ordered stream, as the paper's per-thread streams.  Both generators
+drive any :class:`~repro.systems.base.OrderedStack`, including the
+sharded multi-initiator facade
+(:class:`repro.scale.cluster.ShardedStack`), which routes each tenant's
+stream to its owning initiator host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.sim.engine import Environment
+from repro.sim.rng import DeterministicRNG
+from repro.sim.stats import LatencyRecorder
+
+__all__ = [
+    "OpenLoopConfig",
+    "ClosedLoopConfig",
+    "LoadgenResult",
+    "run_open_loop",
+    "run_closed_loop",
+]
+
+#: Private LBA area per tenant, in blocks (mirrors the fio driver).
+TENANT_AREA_BLOCKS = 16_000_000
+
+#: Open-loop admission bound per tenant: keeps memory finite when the
+#: offered rate is far past saturation.  Latency is still charged from
+#: the intended arrival time, so the knee remains visible.
+OPEN_LOOP_INFLIGHT_CAP = 256
+
+
+@dataclass(frozen=True)
+class OpenLoopConfig:
+    """Fixed-rate Poisson arrivals, split evenly across tenants."""
+
+    offered_iops: float
+    tenants: int = 4
+    duration: float = 2e-3
+    warmup: float = 0.5e-3
+    write_blocks: int = 1
+    pattern: str = "rand"  # rand | seq | journal
+    durable: bool = False
+    seed: int = 1234
+
+
+@dataclass(frozen=True)
+class ClosedLoopConfig:
+    """Think-time-bounded closed loops, one per tenant."""
+
+    tenants: int = 4
+    queue_depth: int = 1
+    #: Mean exponential think time between an ordered completion and the
+    #: next submission (0 = back-to-back).
+    think_time: float = 0.0
+    duration: float = 2e-3
+    warmup: float = 0.5e-3
+    write_blocks: int = 1
+    pattern: str = "rand"
+    durable: bool = False
+    seed: int = 1234
+
+
+@dataclass
+class LoadgenResult:
+    """Measured outcome of one load-generator run."""
+
+    system: str
+    tenants: int
+    offered_iops: float = 0.0
+    ops: int = 0
+    elapsed: float = 0.0
+    latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    initiator_busy_cores: float = 0.0
+    target_busy_cores: float = 0.0
+
+    @property
+    def achieved_iops(self) -> float:
+        return self.ops / self.elapsed if self.elapsed else 0.0
+
+    @property
+    def iops_per_busy_core(self) -> float:
+        """§6.1 CPU efficiency at this load point (initiator side)."""
+        if self.initiator_busy_cores <= 0:
+            return 0.0
+        return self.achieved_iops / self.initiator_busy_cores
+
+
+def _validate(pattern: str, tenants: int) -> None:
+    if pattern not in ("rand", "seq", "journal"):
+        raise ValueError(f"pattern must be rand|seq|journal, got {pattern!r}")
+    if tenants < 1:
+        raise ValueError("need at least one tenant")
+
+
+def _make_lba_chooser(rng: DeterministicRNG, pattern: str, base: int,
+                      op_blocks: int):
+    """Address generator for one tenant (fio's rand/seq idiom)."""
+    cursor = [0]
+
+    def next_lba() -> int:
+        if pattern == "seq":
+            lba = base + cursor[0]
+            cursor[0] += op_blocks
+            if cursor[0] > TENANT_AREA_BLOCKS - op_blocks:
+                cursor[0] = 0
+            return lba
+        slot = rng.randint(0, TENANT_AREA_BLOCKS // (op_blocks + 2) - 1)
+        return base + slot * (op_blocks + 2)  # +2: never LBA-consecutive
+
+    return next_lba
+
+
+def _issue_op(stack, core, stream, next_lba, config):
+    """Generator: issue one workload op; returns (events, nops)."""
+    if config.pattern == "journal":
+        lba = next_lba()
+        e1 = yield from stack.write_ordered(
+            core, stream, lba=lba, nblocks=2, end_of_group=True, kick=False,
+        )
+        e2 = yield from stack.write_ordered(
+            core, stream, lba=lba + 2, nblocks=1, end_of_group=True,
+            flush=config.durable, kick=True,
+        )
+        return [e1, e2], 2
+    done = yield from stack.write_ordered(
+        core, stream, lba=next_lba(), nblocks=config.write_blocks,
+        end_of_group=True, flush=config.durable,
+    )
+    return [done], 1
+
+
+def _finish(result: LoadgenResult, cluster, config) -> LoadgenResult:
+    result.elapsed = config.duration
+    result.initiator_busy_cores = cluster.initiator_busy_cores(config.duration)
+    result.target_busy_cores = cluster.target_busy_cores(config.duration)
+    return result
+
+
+def run_open_loop(cluster, stack, config: OpenLoopConfig) -> LoadgenResult:
+    """Run a fixed-rate Poisson workload to the end of its window."""
+    _validate(config.pattern, config.tenants)
+    if config.offered_iops <= 0:
+        raise ValueError("offered_iops must be > 0")
+    env: Environment = cluster.env
+    result = LoadgenResult(system=stack.name, tenants=config.tenants,
+                           offered_iops=config.offered_iops)
+    end_time = config.warmup + config.duration
+    op_blocks = 3 if config.pattern == "journal" else config.write_blocks
+    per_tenant_rate = config.offered_iops / config.tenants
+
+    def watch(arrival, nops, tracker):
+        yield tracker
+        if config.warmup <= env.now <= end_time:
+            result.ops += nops
+            if arrival >= config.warmup:
+                result.latency.record(env.now - arrival)
+
+    def tenant_body(tenant: int):
+        rng = DeterministicRNG(config.seed).fork(f"loadgen-open{tenant}")
+        core = cluster.initiator.cpus.pick(tenant)
+        next_lba = _make_lba_chooser(
+            rng.fork("lba"), config.pattern,
+            tenant * TENANT_AREA_BLOCKS, op_blocks,
+        )
+        arrival = 0.0
+        inflight: List = []
+        while True:
+            arrival += rng.expovariate(per_tenant_rate)
+            if arrival >= end_time:
+                return
+            if arrival > env.now:
+                yield env.timeout(arrival - env.now)
+            # (if arrival <= now we are backlogged: issue immediately,
+            # charging the queueing delay to this op's latency)
+            events, nops = yield from _issue_op(
+                stack, core, tenant, next_lba, config
+            )
+            tracker = env.all_of(events)
+            env.process(watch(arrival, nops, tracker))
+            inflight.append(tracker)
+            while len(inflight) >= OPEN_LOOP_INFLIGHT_CAP:
+                yield env.any_of(inflight)
+                inflight = [t for t in inflight if not t.triggered]
+
+    def measurement():
+        yield env.timeout(config.warmup)
+        cluster.start_cpu_window()
+        yield env.timeout(config.duration)
+        cluster.stop_cpu_window()
+
+    env.process(measurement())
+    for tenant in range(config.tenants):
+        env.process(tenant_body(tenant))
+    env.run(until=end_time)
+    return _finish(result, cluster, config)
+
+
+def run_closed_loop(cluster, stack, config: ClosedLoopConfig) -> LoadgenResult:
+    """Run think-time-bounded closed loops to the end of their window."""
+    _validate(config.pattern, config.tenants)
+    if config.queue_depth < 1:
+        raise ValueError("queue_depth must be >= 1")
+    env: Environment = cluster.env
+    result = LoadgenResult(system=stack.name, tenants=config.tenants)
+    end_time = config.warmup + config.duration
+    op_blocks = 3 if config.pattern == "journal" else config.write_blocks
+
+    def watch(issued_at, nops, tracker):
+        yield tracker
+        if config.warmup <= env.now <= end_time:
+            result.ops += nops
+            if issued_at >= config.warmup:
+                result.latency.record(env.now - issued_at)
+
+    def tenant_body(tenant: int):
+        rng = DeterministicRNG(config.seed).fork(f"loadgen-closed{tenant}")
+        core = cluster.initiator.cpus.pick(tenant)
+        next_lba = _make_lba_chooser(
+            rng.fork("lba"), config.pattern,
+            tenant * TENANT_AREA_BLOCKS, op_blocks,
+        )
+        inflight: List = []
+        while env.now < end_time:
+            issued_at = env.now
+            events, nops = yield from _issue_op(
+                stack, core, tenant, next_lba, config
+            )
+            tracker = env.all_of(events)
+            env.process(watch(issued_at, nops, tracker))
+            inflight.append(tracker)
+            while len(inflight) >= config.queue_depth:
+                head = inflight.pop(0)
+                if not head.triggered:
+                    yield head
+            if config.think_time > 0:
+                yield env.timeout(rng.expovariate(1.0 / config.think_time))
+
+    def measurement():
+        yield env.timeout(config.warmup)
+        cluster.start_cpu_window()
+        yield env.timeout(config.duration)
+        cluster.stop_cpu_window()
+
+    env.process(measurement())
+    for tenant in range(config.tenants):
+        env.process(tenant_body(tenant))
+    env.run(until=end_time)
+    return _finish(result, cluster, config)

@@ -65,8 +65,16 @@ class LatencyRecorder:
         return ordered[rank - 1]
 
     @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
     def p99(self) -> float:
         return self.percentile(99.0)
+
+    @property
+    def p999(self) -> float:
+        return self.percentile(99.9)
 
     @property
     def maximum(self) -> float:

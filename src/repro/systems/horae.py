@@ -134,6 +134,13 @@ class HoraeStack(OrderedStack):
         self._streams: Dict[int, _HoraeStream] = {}
         self.policies: List[HoraeTargetPolicy] = []
         for target in self.volume.targets():
+            if isinstance(target.policy, HoraeTargetPolicy):
+                # Shared target (multi-initiator scale-out): reuse the
+                # installed policy so another initiator's PMR ring offset
+                # is not reset.  Correct because all cross-group state is
+                # keyed per stream and initiators own disjoint stream ids.
+                self.policies.append(target.policy)
+                continue
             policy = HoraeTargetPolicy()
             target.install_policy(policy)
             self.policies.append(policy)

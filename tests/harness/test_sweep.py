@@ -151,6 +151,55 @@ def test_chaos_sweep_specs_are_per_trial():
 
 
 # ----------------------------------------------------------------------
+# Bit-identity: saturation cells (scale-out plane)
+# ----------------------------------------------------------------------
+
+# A small but real saturation sweep: 2 systems x 2 offered loads over a
+# 2-initiator sharded cluster, trimmed to smoke duration.
+SMALL_SATURATE = dict(systems=("rio", "linux"), loads_kiops=(50, 200),
+                      duration=5e-4, tenants=2)
+
+
+def test_parallel_saturation_is_bit_identical_to_serial():
+    from repro.harness.saturate import saturation_sweep
+
+    serial = SweepRunner(jobs=1).run(saturation_sweep(**SMALL_SATURATE))
+    parallel = SweepRunner(jobs=2).run(saturation_sweep(**SMALL_SATURATE))
+    assert serial.headers == parallel.headers
+    assert serial.rows == parallel.rows  # == on floats: bit-identical
+    assert serial.notes == parallel.notes
+    assert serial.render() == parallel.render()
+
+
+def test_warm_cache_saturation_rerun_executes_nothing(tmp_path):
+    from repro.harness.saturate import saturation_sweep
+
+    cold = SweepRunner(jobs=2, cache=ResultCache(root=tmp_path,
+                                                 version="test"))
+    first = cold.run(saturation_sweep(**SMALL_SATURATE))
+    assert cold.stats.executed == 4 and cold.stats.cache_hits == 0
+
+    warm = SweepRunner(jobs=1, cache=ResultCache(root=tmp_path,
+                                                 version="test"))
+    second = warm.run(saturation_sweep(**SMALL_SATURATE))
+    assert warm.stats.executed == 0, "warm rerun must skip every cell"
+    assert warm.stats.cache_hits == 4
+    assert first.rows == second.rows
+    assert first.render() == second.render()
+
+
+def test_saturation_specs_are_per_cell_and_steering_aware():
+    from repro.harness.saturate import saturation_sweep
+
+    base = saturation_sweep(**SMALL_SATURATE)
+    assert len(base.specs) == 4
+    assert len({spec.digest() for spec in base.specs}) == 4
+    steered = saturation_sweep(steering="flow-hash", **SMALL_SATURATE)
+    assert not ({s.digest() for s in base.specs}
+                & {s.digest() for s in steered.specs})
+
+
+# ----------------------------------------------------------------------
 # Cache integration through the runner
 # ----------------------------------------------------------------------
 

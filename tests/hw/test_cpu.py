@@ -1,8 +1,8 @@
-"""Unit tests for CPU core models and busy accounting."""
+"""Unit tests for CPU core models, busy accounting and core steering."""
 
 import pytest
 
-from repro.hw.cpu import Core, CpuSet
+from repro.hw.cpu import STEERING_POLICIES, Core, CoreSteering, CpuSet
 from repro.sim import Environment
 
 
@@ -110,6 +110,76 @@ def test_least_loaded_prefers_empty_queue():
     env.step()  # let the hog start
     env.step()
     assert cpus.least_loaded() is cpus.cores[1]
+
+
+def test_steering_pin_is_modulo_pinning():
+    """The historical static assignment: key % n, forever."""
+    env = Environment()
+    cpus = CpuSet(env, ncores=3)
+    steering = cpus.steering("pin")
+    for key in range(12):
+        assert steering.select(key) is cpus.cores[key % 3]
+
+
+def test_steering_round_robin_rotates_regardless_of_key():
+    env = Environment()
+    cpus = CpuSet(env, ncores=3)
+    steering = cpus.steering("round-robin")
+    picked = [steering.select(7).index for _ in range(6)]
+    assert picked == [0, 1, 2, 0, 1, 2]
+
+
+def test_steering_flow_hash_is_stable_and_spreads():
+    env = Environment()
+    cpus = CpuSet(env, ncores=8)
+    steering = cpus.steering("flow-hash")
+    first = {key: steering.select(key).index for key in range(64)}
+    again = {key: steering.select(key).index for key in range(64)}
+    assert first == again  # flows stay pinned
+    # ... but neighbouring keys scatter instead of striding 0,1,2,...
+    assert [first[k] for k in range(8)] != list(range(8))
+    assert len(set(first.values())) > 1
+
+
+def test_steering_least_loaded_follows_queue_depth():
+    env = Environment()
+    cpus = CpuSet(env, ncores=2)
+
+    def hog(env):
+        yield from cpus.pick(0).run(1.0)
+
+    env.process(hog(env))
+    env.process(hog(env))  # queued behind the first
+    env.step()
+    env.step()
+    steering = cpus.steering("least-loaded")
+    assert steering.select(0) is cpus.cores[1]
+
+
+def test_steering_counts_selections_per_core():
+    env = Environment()
+    steering = CpuSet(env, ncores=2).steering("pin")
+    for key in (0, 0, 1, 2):
+        steering.select(key)
+    assert steering.selections == {0: 3, 1: 1}
+
+
+def test_steering_over_core_subset():
+    env = Environment()
+    cpus = CpuSet(env, ncores=4)
+    steering = cpus.steering("pin", cores=cpus.cores[2:])
+    assert steering.select(0) is cpus.cores[2]
+    assert steering.select(1) is cpus.cores[3]
+
+
+def test_steering_rejects_unknown_policy_and_empty_set():
+    env = Environment()
+    cpus = CpuSet(env, ncores=2)
+    with pytest.raises(ValueError):
+        cpus.steering("random")
+    with pytest.raises(ValueError):
+        CoreSteering([], "pin")
+    assert "pin" in STEERING_POLICIES
 
 
 def test_window_isolates_measurement():

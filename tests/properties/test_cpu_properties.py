@@ -1,0 +1,100 @@
+"""Property-based tests of the CPU model's steering and accounting
+contracts (scale-out plane).
+
+Three invariants the saturation harness leans on:
+
+* **bounded utilization** — a server can never report more simultaneously
+  busy cores than it physically has, under any steering policy and any
+  work pattern;
+* **work conservation** — steering redistributes work, it does not create
+  or destroy it: the total busy core-seconds of a work list is the same
+  under every policy;
+* **least-loaded greed** — the ``least-loaded`` policy never picks a core
+  while another core of the set has strictly less queued work.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.cpu import STEERING_POLICIES, CoreSteering, CpuSet
+from repro.sim.engine import Environment, Event
+
+work_items = st.lists(
+    st.tuples(
+        st.integers(-1_000, 1_000),                      # flow key
+        st.floats(min_value=1e-7, max_value=5e-6),       # CPU work (s)
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _run_work(policy, ncores, items):
+    """Dispatch every (key, duration) through one steering policy; returns
+    (cpus, elapsed) after all work has drained."""
+    env = Environment()
+    cpus = CpuSet(env, ncores, name="prop")
+    steering = cpus.steering(policy)
+    cpus.start_window()
+    dones = []
+
+    def worker(key, duration, done):
+        yield from steering.select(key).run(duration)
+        done.succeed()
+
+    for key, duration in items:
+        done = Event(env)
+        dones.append(done)
+        env.process(worker(key, duration, done))
+    env.run_until_event(env.all_of(dones))
+    cpus.stop_window()
+    return cpus, env.now
+
+
+@given(st.sampled_from(STEERING_POLICIES), st.integers(1, 8), work_items)
+@settings(max_examples=120, deadline=None)
+def test_busy_cores_never_exceed_core_count(policy, ncores, items):
+    cpus, elapsed = _run_work(policy, ncores, items)
+    assert cpus.busy_cores(elapsed) <= len(cpus) + 1e-9
+    for core in cpus.cores:
+        assert core.tracker.utilization() <= 1.0 + 1e-9
+
+
+@given(st.integers(1, 8), work_items)
+@settings(max_examples=120, deadline=None)
+def test_busy_time_conserved_across_steering_policies(ncores, items):
+    expected = sum(duration for _key, duration in items)
+    for policy in STEERING_POLICIES:
+        cpus, _elapsed = _run_work(policy, ncores, items)
+        assert abs(cpus.busy_time() - expected) < 1e-12, policy
+
+
+@given(
+    st.lists(st.integers(0, 5), min_size=1, max_size=8),  # backlog per core
+    st.integers(-1_000, 1_000),
+)
+@settings(max_examples=120, deadline=None)
+def test_least_loaded_never_picks_a_busier_core(backlogs, key):
+    env = Environment()
+    cpus = CpuSet(env, len(backlogs), name="prop")
+    for core, backlog in zip(cpus.cores, backlogs):
+        for _ in range(backlog):
+            env.process(core.run(1e-3))
+    # Let every work item start: one runs per core, the rest queue.
+    env.run(until=1e-9)
+    chosen = cpus.steering("least-loaded").select(key)
+    floor = min(core.queued_work for core in cpus.cores)
+    assert chosen.queued_work == floor
+
+
+@given(st.sampled_from(("pin", "flow-hash")), st.integers(1, 8),
+       st.lists(st.integers(-1_000, 1_000), min_size=1, max_size=40))
+@settings(max_examples=120, deadline=None)
+def test_flow_affine_policies_are_stable_per_key(policy, ncores, keys):
+    """pin and flow-hash keep a flow on one core forever — the property
+    that lets ordered streams rely on per-core FIFO delivery."""
+    env = Environment()
+    steering = CpuSet(env, ncores, name="prop").steering(policy)
+    first = {}
+    for key in keys + keys:  # revisit every key at least twice
+        core = steering.select(key)
+        assert first.setdefault(key, core) is core
