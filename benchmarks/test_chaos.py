@@ -117,6 +117,12 @@ def test_multi_initiator_qp_breakdown_spares_bystander(benchmark):
         assert faulted.submission_order_violations == [], faulted.summary()
         assert faulted.errors == [], faulted.summary()
         assert faulted.leak_error == "", faulted.leak_error
+        # RPC retries and command watchdogs must disarm superseded expiry
+        # timers cluster-wide too — a leak here grows with command count.
+        assert faulted.heap_live_entries <= 4, (
+            f"seed={faulted.seed}: {faulted.heap_live_entries} live heap "
+            "entries leaked"
+        )
         # The fault actually landed — on the victim host only.
         assert faulted.fault_counts.get("qp_breakdown", 0) >= 1
         assert faulted.node_reconnects[0] >= 1, faulted.summary()
@@ -138,6 +144,37 @@ def test_multi_initiator_qp_breakdown_spares_bystander(benchmark):
             bystander_makespan(baseline) * 1.10 + 20e-6
         )
     benchmark.extra_info["seeds"] = len(seeds)
+
+
+def test_gray_target_spares_bystanders(benchmark):
+    """Gray-failure containment: one target turns fail-slow (8x service
+    inflation) mid-run and the health plane must confine the damage.
+
+    The sick target's breaker trips and opens; every other breaker stays
+    closed; unordered flows fail over to the healthy target; ordered
+    streams pinned to the sick shard brown out explicitly instead of
+    wedging; and the bystander shard's tail latency stays flat.
+    """
+    from repro.harness.overload import probe_gray
+
+    r = run_once(benchmark, probe_gray, seed=42)
+    assert r["breaker_trips"] >= 1, r
+    assert r["sick_breaker_open"] == 1.0, r
+    assert r["healthy_breakers_closed"] == 1.0, r
+    assert r["failovers"] >= 1, r
+    # Unordered traffic shifted off the sick target after the trip.
+    assert r["unordered_on_healthy"] > r["unordered_on_sick"], r
+    # Ordered sick-shard streams browned out (explicit, not a wedge) ...
+    assert r["brownouts"] >= 1, r
+    assert r["dead_streams"] >= 1, r
+    # ... while the bystander shard's p999 stayed at its healthy level
+    # (one 4KiB write on an idle Optane target completes in ~25us).
+    assert r["bystander_p999_us"] < 60.0, r
+    # Sub-capacity load on the healthy shard: no admission sheds at all.
+    assert r["shed_rate"] == 0.0, r
+    benchmark.extra_info["bystander_p999_us"] = r["bystander_p999_us"]
+    benchmark.extra_info["brownouts"] = r["brownouts"]
+    benchmark.extra_info["failovers"] = r["failovers"]
 
 
 def test_graceful_degradation_and_recovery(benchmark):

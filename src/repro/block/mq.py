@@ -148,6 +148,7 @@ class BlockLayer:
                         bios=[bio],
                         stream_id=bio.stream_id,
                         attr=bio.attr,
+                        deadline=bio.deadline,
                     ),
                 )
                 for ns in self.volume.namespaces
@@ -180,6 +181,7 @@ class BlockLayer:
                     barrier=bio.flags.barrier,
                     attr=bio.attr,
                     stream_id=bio.stream_id,
+                    deadline=bio.deadline,
                     is_split_fragment=split,
                     volume_offsets=vol_offsets[start : start + chunk],
                 )
@@ -253,6 +255,11 @@ class BlockLayer:
         prev.nblocks += request.nblocks
         prev.bios.extend(request.bios)
         prev.flush = prev.flush or request.flush
+        if request.deadline is not None:
+            prev.deadline = (
+                request.deadline if prev.deadline is None
+                else min(prev.deadline, request.deadline)
+            )
         if prev.payload is not None and request.payload is not None:
             prev.payload = prev.payload + request.payload
         elif request.payload is not None:

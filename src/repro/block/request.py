@@ -59,6 +59,11 @@ class Bio:
     stream_id: int = 0
     #: Rio ordering attribute (set by the sequencer); opaque to this layer.
     attr: Any = None
+    #: Absolute virtual-time deadline propagated from the issuing layer
+    #: (fsync/write), or None (no deadline).  Carried down through
+    #: merge/split to the driver, which fast-fails a request whose
+    #: remaining budget is below the expected service cost.
+    deadline: Optional[float] = None
     bio_id: int = field(default_factory=lambda: next(_bio_ids))
     submitted_at: float = 0.0
     #: When the bio was first dispatched to the driver (vs merely staged) —
@@ -140,6 +145,8 @@ class BlockRequest:
     #: Compact ordering attribute covering all bios (merged range), or None.
     attr: Any = None
     stream_id: int = 0
+    #: Tightest deadline over the covered bios (None = no deadline).
+    deadline: Optional[float] = None
     #: Which hardware/NIC queue this request should use (Principle 2).
     #: None = let the block layer pick the submitting core's queue.
     qp_index: Optional[int] = None

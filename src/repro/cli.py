@@ -85,6 +85,11 @@ FIGURES: Dict[str, tuple] = {
              "MySQL-style OLTP on the three file systems", True),
     "saturate": (lambda **kw: _saturation_curves(**kw),
                  "scale-out saturation: throughput-latency curves", True),
+    "overload": (lambda **kw: _overload_curves(**kw),
+                 "robustness plane: metastable-overload sweep", True),
+    "overload-gray": (lambda **kw: _gray_result(**kw),
+                      "robustness plane: gray (fail-slow) target scenario",
+                      True),
 }
 
 
@@ -92,6 +97,18 @@ def _saturation_curves(**kwargs):
     from repro.harness.saturate import saturation_curves
 
     return saturation_curves(**kwargs)
+
+
+def _overload_curves(**kwargs):
+    from repro.harness.overload import overload_curves
+
+    return overload_curves(**kwargs)
+
+
+def _gray_result(**kwargs):
+    from repro.harness.overload import gray_result
+
+    return gray_result(**kwargs)
 
 
 def _run_one(name: str, duration: Optional[float],
@@ -236,6 +253,50 @@ def main(argv=None) -> int:
                      "$REPRO_CACHE_DIR)")
     sat.add_argument("--format", choices=("table", "markdown"),
                      default="table", help="output format")
+    ovl = sub.add_parser(
+        "overload",
+        help="robustness-plane overload sweep (metastable scenario) or "
+        "the gray fail-slow target scenario",
+    )
+    ovl.add_argument("--scenario", default="metastable",
+                     choices=("metastable", "gray"),
+                     help="metastable: offered-load grid past the knee, "
+                     "protection off vs full; gray: degrade one target "
+                     "mid-run and measure isolation")
+    ovl.add_argument("--systems", default="rio",
+                     help="comma-separated systems (metastable scenario)")
+    ovl.add_argument("--protection", default=None,
+                     help="comma-separated protection profiles "
+                     "(default: off,full)")
+    ovl.add_argument("--loads", default=None,
+                     help="comma-separated offered loads in kIOPS "
+                     "(default: 400,1100,2200)")
+    ovl.add_argument("--layout", default=None,
+                     help="hardware layout (default: optane for "
+                     "metastable, 2optane-2targets for gray)")
+    ovl.add_argument("--initiators", type=int, default=2,
+                     help="initiator hosts (metastable scenario)")
+    ovl.add_argument("--tenants", type=int, default=4,
+                     help="load-generator tenants (one stream each)")
+    ovl.add_argument("--duration", type=float, default=None,
+                     help="virtual seconds of measured window per cell")
+    ovl.add_argument("--degrade-factor", type=float, default=8.0,
+                     help="gray scenario: mid-run service inflation of "
+                     "target 0")
+    ovl.add_argument("--seed", type=int, default=42)
+    ovl.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for the grid cells")
+    ovl_cache = ovl.add_mutually_exclusive_group()
+    ovl_cache.add_argument("--cache", dest="cache", action="store_true",
+                           default=True,
+                           help="memoize results on disk (default)")
+    ovl_cache.add_argument("--no-cache", dest="cache", action="store_false",
+                           help="always recompute; touch no cache files")
+    ovl.add_argument("--cache-dir", default=None,
+                     help="cache root (default: results/.cache, or "
+                     "$REPRO_CACHE_DIR)")
+    ovl.add_argument("--format", choices=("table", "markdown"),
+                     default="table", help="output format")
     trace = sub.add_parser(
         "trace", help="export request-lifecycle spans as a Chrome trace"
     )
@@ -334,6 +395,53 @@ def main(argv=None) -> int:
         else:
             print(result.render())
         line = (f"[saturate: {runner.stats.summary()}; "
+                f"{time.time() - started:.1f}s wall")
+        if cache is not None:
+            line += (f"; cache {cache.root}/{cache.version}: "
+                     f"{cache.hits} hit(s)]")
+        else:
+            line += "; cache disabled]"
+        print(line)
+        return 0
+
+    if args.command == "overload":
+        from repro.harness import sweep as sweep_mod
+        from repro.harness.cache import ResultCache
+        from repro.harness.overload import (
+            DEFAULT_OVERLOAD_KIOPS,
+            PROTECTIONS,
+            gray_result,
+            overload_curves,
+        )
+
+        cache = ResultCache(root=args.cache_dir) if args.cache else None
+        runner = sweep_mod.configure(jobs=args.jobs, cache=cache)
+        started = time.time()
+        if args.scenario == "gray":
+            kwargs = {"seed": args.seed,
+                      "degrade_factor": args.degrade_factor}
+            if args.duration is not None:
+                kwargs["duration"] = args.duration
+            result = gray_result(**kwargs)
+        else:
+            systems = args.systems.split(",")
+            protections = (args.protection.split(",") if args.protection
+                           else list(PROTECTIONS))
+            loads = ([float(v) for v in args.loads.split(",") if v != ""]
+                     if args.loads else list(DEFAULT_OVERLOAD_KIOPS))
+            result = overload_curves(
+                systems=systems, protections=protections,
+                loads_kiops=loads, layout=args.layout or "optane",
+                initiators=args.initiators, tenants=args.tenants,
+                duration=args.duration if args.duration is not None
+                else 2e-3,
+                seed=args.seed,
+            )
+        if args.format == "markdown":
+            print(result.render_markdown())
+        else:
+            print(result.render())
+        line = (f"[overload: {runner.stats.summary()}; "
                 f"{time.time() - started:.1f}s wall")
         if cache is not None:
             line += (f"; cache {cache.root}/{cache.version}: "

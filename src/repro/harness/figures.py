@@ -777,6 +777,7 @@ def recovery_table(
                                           run_before_crash, seed))
 
 
+from repro.harness.overload import overload_sweep  # noqa: E402
 from repro.harness.saturate import saturation_sweep  # noqa: E402
 
 #: Every figure's sweep builder, for ``repro sweep`` and the tests.
@@ -792,4 +793,5 @@ SWEEP_BUILDERS = {
     "fig15b": fig15b_rocksdb_sweep,
     "recovery": recovery_table_sweep,
     "saturate": saturation_sweep,
+    "overload": overload_sweep,
 }

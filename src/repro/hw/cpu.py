@@ -128,21 +128,41 @@ class CoreSteering:
         #: selections per core index — observability for the saturation
         #: harness and the property suite.
         self.selections: dict = {}
+        #: Core indices the health plane has quarantined (e.g. a core
+        #: whose IRQ affinity points at a degraded NIC path).  Never
+        #: selected while at least one non-quarantined core remains.
+        self._quarantined: set = set()
+
+    def quarantine(self, core_index: int) -> None:
+        """Exclude a core from selection (health-plane steering)."""
+        if any(c.index == core_index for c in self.cores):
+            self._quarantined.add(core_index)
+
+    def release(self, core_index: int) -> None:
+        """Return a quarantined core to the selection pool."""
+        self._quarantined.discard(core_index)
+
+    def _pool(self) -> List[Core]:
+        if not self._quarantined:
+            return self.cores
+        healthy = [c for c in self.cores if c.index not in self._quarantined]
+        return healthy if healthy else self.cores
 
     def select(self, key: int) -> Core:
         """The core that handles the message with flow key ``key``."""
-        n = len(self.cores)
+        pool = self._pool()
+        n = len(pool)
         if self.policy == "pin":
-            core = self.cores[key % n]
+            core = pool[key % n]
         elif self.policy == "round-robin":
-            core = self.cores[self._rr_next % n]
+            core = pool[self._rr_next % n]
             self._rr_next += 1
         elif self.policy == "least-loaded":
             core = min(
-                self.cores, key=lambda c: (c.queued_work, c.index)
+                pool, key=lambda c: (c.queued_work, c.index)
             )
         else:  # flow-hash
-            core = self.cores[_flow_hash(key) % n]
+            core = pool[_flow_hash(key) % n]
         self.selections[core.index] = self.selections.get(core.index, 0) + 1
         return core
 

@@ -33,6 +33,10 @@ class Nic:
         self.env = env
         self.bandwidth = bandwidth
         self.name = name
+        #: Gray-failure service inflation (>= 1): multiplies wire time, as
+        #: a NIC negotiating down / retraining its link would.  Set via
+        #: :meth:`repro.nvmeof.target.TargetServer.degrade`.
+        self.inflation = 1.0
         self._tx = Resource(env, capacity=1)
         self._rx = Resource(env, capacity=1)
         self.bytes_sent = 0
@@ -42,7 +46,7 @@ class Nic:
         """Generator: hold the TX pipe for the wire time of ``nbytes``."""
         yield self._tx.request()
         try:
-            yield self.env.timeout(nbytes / self.bandwidth)
+            yield self.env.timeout(nbytes / self.bandwidth * self.inflation)
             self.bytes_sent += nbytes
         finally:
             self._tx.release()
@@ -51,7 +55,7 @@ class Nic:
         """Generator: hold the RX pipe for the wire time of ``nbytes``."""
         yield self._rx.request()
         try:
-            yield self.env.timeout(nbytes / self.bandwidth)
+            yield self.env.timeout(nbytes / self.bandwidth * self.inflation)
             self.bytes_received += nbytes
         finally:
             self._rx.release()

@@ -207,6 +207,10 @@ class NvmeSsd:
         self._epoch = 0
         self.commands_served = 0
         self.flushes_served = 0
+        #: Gray-failure (fail-slow) multiplier on every service latency
+        #: (>= 1, default 1 = healthy).  Mutable because the profile is
+        #: frozen; set via :meth:`repro.nvmeof.target.TargetServer.degrade`.
+        self.service_inflation = 1.0
         #: Optional hook fired after every durable-media mutation (PLP
         #: persist or cache-drain batch apply).  The crash-consistency
         #: checker uses it to snapshot state at persistence events; None
@@ -400,6 +404,12 @@ class NvmeSsd:
         if epoch != self._epoch:
             raise CrashedError(f"{self.name} crashed mid-command")
 
+    def _service_time(self, base: float) -> float:
+        """One service latency, inflated while the device is degraded
+        (fail-slow gray failure).  Healthy devices multiply by 1.0 — no
+        extra RNG draws, no behaviour change."""
+        return base * self.service_inflation
+
     def _serve_write(self, io: DiskIO, epoch: int):
         profile = self.profile
         # Concurrency slot (channel parallelism).
@@ -408,7 +418,9 @@ class NvmeSsd:
             # Host DMA over the interface.
             yield self._interface.request()
             try:
-                yield self.env.timeout(io.nbytes / profile.interface_bandwidth)
+                yield self.env.timeout(
+                    self._service_time(io.nbytes / profile.interface_bandwidth)
+                )
             finally:
                 self._interface.release()
             self._check_epoch(epoch)
@@ -423,15 +435,15 @@ class NvmeSsd:
                 try:
                     yield self._media_pipe.request()
                     try:
-                        yield self.env.timeout(
+                        yield self.env.timeout(self._service_time(
                             io.nbytes / profile.media_bandwidth
-                        )
+                        ))
                     finally:
                         self._media_pipe.release()
                     self._check_epoch(epoch)
-                    yield self.env.timeout(
+                    yield self.env.timeout(self._service_time(
                         self.rng.jitter(profile.write_latency, 0.05)
-                    )
+                    ))
                     self._check_epoch(epoch)
                     self._persist_blocks(io)
                     if io.barrier:
@@ -442,9 +454,9 @@ class NvmeSsd:
             else:
                 # Into the volatile write cache (waiting for space if full).
                 yield from self._wait_for_cache_space(io.nbytes, epoch)
-                yield self.env.timeout(
+                yield self.env.timeout(self._service_time(
                     self.rng.jitter(profile.write_latency, 0.05)
-                )
+                ))
                 self._check_epoch(epoch)
                 if io.barrier:
                     # Admit to the cache (and the FIFO drain lane) in
@@ -497,11 +509,15 @@ class NvmeSsd:
         profile = self.profile
         yield self._slots.request()
         try:
-            yield self.env.timeout(self.rng.jitter(profile.read_latency, 0.05))
+            yield self.env.timeout(
+                self._service_time(self.rng.jitter(profile.read_latency, 0.05))
+            )
             self._check_epoch(epoch)
             yield self._interface.request()
             try:
-                yield self.env.timeout(io.nbytes / profile.interface_bandwidth)
+                yield self.env.timeout(
+                    self._service_time(io.nbytes / profile.interface_bandwidth)
+                )
             finally:
                 self._interface.release()
             self._check_epoch(epoch)
@@ -515,7 +531,7 @@ class NvmeSsd:
     def _serve_flush(self, epoch: int):
         self.flushes_served += 1
         if self.profile.plp or not self.profile.cache_capacity:
-            yield self.env.timeout(self.profile.flush_base_latency)
+            yield self.env.timeout(self._service_time(self.profile.flush_base_latency))
             self._check_epoch(epoch)
             return
         # Snapshot: everything admitted so far must drain before we return.
@@ -526,9 +542,9 @@ class NvmeSsd:
             self._kick_drain()
             yield waiter
             self._check_epoch(epoch)
-        yield self.env.timeout(
+        yield self.env.timeout(self._service_time(
             self.rng.jitter(self.profile.flush_base_latency, 0.1)
-        )
+        ))
         self._check_epoch(epoch)
 
     # ------------------------------------------------------------------

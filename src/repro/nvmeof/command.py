@@ -41,6 +41,9 @@ __all__ = [
     "FLAG_MERGED",
     "STATUS_OK",
     "STATUS_TIMEOUT",
+    "STATUS_QFULL",
+    "STATUS_DEADLINE",
+    "STATUS_BROWNOUT",
     "RioFields",
     "NvmeCommand",
     "NvmeResponse",
@@ -67,6 +70,18 @@ STATUS_OK = 0x00
 #: Host-side expiry: the command's retry budget ran out before any
 #: response arrived (mirrors NVMe "Command Abort Requested", 0x07).
 STATUS_TIMEOUT = 0x07
+#: Target admission control shed this command instead of queueing it
+#: (SCSI TASK SET FULL analogue).  Retryable: the driver re-posts the same
+#: command after a backoff, so ordering attributes are preserved.
+STATUS_QFULL = 0x06
+#: Host-side fast-fail: the request's remaining deadline budget was below
+#: the expected service cost, so the driver failed it locally instead of
+#: spending fabric and target CPU on a doomed command.
+STATUS_DEADLINE = 0x0B
+#: Host-side fast-fail: the circuit breaker for the stream's target is
+#: open (fail-slow/erroring target) and ordered streams cannot migrate,
+#: so the stream surfaces a brownout error instead of wedging.
+STATUS_BROWNOUT = 0x0C
 FLAG_MERGED = 0x8  # covers several merged requests (atomic unit)
 
 _MASK_32 = 0xFFFF_FFFF

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import count
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.block.request import BlockRequest
 from repro.hw.cpu import Core, CpuSet
@@ -25,6 +25,9 @@ from repro.nvmeof.command import (
     OP_FLUSH,
     OP_READ,
     OP_WRITE,
+    STATUS_BROWNOUT,
+    STATUS_DEADLINE,
+    STATUS_QFULL,
     STATUS_TIMEOUT,
     NvmeCommand,
     NvmeResponse,
@@ -32,6 +35,7 @@ from repro.nvmeof.command import (
 )
 from repro.nvmeof.costs import DEFAULT_COSTS, CpuCosts
 from repro.sim.engine import Environment, Event
+from repro.sim.rng import DeterministicRNG
 
 __all__ = [
     "InitiatorServer",
@@ -67,11 +71,47 @@ class DriverHardening:
         fails with :class:`RpcTimeout`).
     ``backoff``
         Multiplier applied to the expiry after every retry (exponential
-        backoff; deterministic — no jitter, the simulation is seeded).
+        backoff).
+    ``jitter``
+        Fractional randomization of every backoff delay (``0.1`` spreads
+        each delay over ±10%), drawn from the driver's forked
+        :class:`~repro.sim.rng.DeterministicRNG` stream — seeded, so runs
+        stay reproducible, but synchronized expiries decorrelate instead
+        of retransmitting in lock-step.  ``0.0`` (the default) performs no
+        RNG draws at all.
     ``watch_liveness``
         Register every pending completion with
         :meth:`repro.sim.engine.Environment.watch_liveness`, so an orphaned
         waiter raises a diagnosable ``SimDeadlock`` instead of hanging.
+    ``retry_budget_ratio`` / ``retry_budget_cap``
+        Token-bucket retry budget (:class:`repro.robust.admission.RetryBudget`):
+        each fresh command earns ``ratio`` of a retransmission token, each
+        retransmission spends one.  An empty bucket *suppresses* the
+        retransmission (the watchdog keeps waiting) so retries stay a
+        bounded fraction of fresh traffic.  ``None`` (default) disables
+        budgeting — retransmissions are limited only by ``max_retries``.
+    ``qfull_backoff`` / ``qfull_max_requeues`` / ``qfull_batch``
+        Reaction to a target-side admission shed (``STATUS_QFULL``): shed
+        commands join a per-(target, stream) requeue queue drained by a
+        pacer that re-posts a wave of them *in position order* every
+        ``qfull_backoff`` seconds (jittered per wave, never per command —
+        jittering individual commands would scramble the position order
+        the target's dense gate depends on).  The wave size adapts AIMD:
+        it grows by one after a wave with no bounce and halves after a
+        bounced wave, probing the target's admission window like a
+        congestion window, bounded above by ``qfull_batch``.  An ordered
+        stream's shed position is a hole only the exact same command can
+        fill, so the driver keeps re-posting, throttled, until it gets in.
+        ``None`` (default) error-completes sheds instead.  A command
+        re-posted ``qfull_max_requeues`` times without ever being admitted
+        error-completes and kills its stream.
+    ``deadline_margin``
+        Fast-fail margin for deadline-carrying requests: fail locally when
+        ``now + margin * service_ewma(target)`` exceeds the deadline.
+    ``fail_fast``
+        After an ordered stream suffers a timeout abort, fail its later
+        submissions immediately (sticky dead stream) instead of posting
+        into a hole the target-side gate can never fill.
     """
 
     command_timeout: Optional[float] = None
@@ -79,6 +119,14 @@ class DriverHardening:
     max_retries: int = 0
     backoff: float = 2.0
     watch_liveness: bool = False
+    jitter: float = 0.0
+    retry_budget_ratio: Optional[float] = None
+    retry_budget_cap: float = 8.0
+    qfull_backoff: Optional[float] = None
+    qfull_max_requeues: int = 16
+    qfull_batch: int = 32
+    deadline_margin: float = 1.0
+    fail_fast: bool = False
 
 
 @dataclass
@@ -95,6 +143,23 @@ class _PendingCommand:
     liveness_token: Optional[int] = None
     #: ``fabric.transfer`` span (observability attached only).
     span: Any = None
+    #: The watchdog's currently armed expiry Timeout; cancelled eagerly at
+    #: response time so a completed command leaves no live heap entry.
+    expiry: Any = None
+    #: True from the first QFULL shed until completion/abort: the command
+    #: lives in a requeue queue and the pacer owns its retransmission (the
+    #: watchdog must not — a watchdog duplicate would arrive out of
+    #: position order and bounce off the target's dense admission rule).
+    queued: bool = False
+    #: Sub-state of ``queued``: True while resting between waves, False
+    #: while a pacer re-post is on the wire awaiting its verdict (the
+    #: pacer must not post a second copy until the first resolves).
+    backing_off: bool = False
+    #: QFULL re-posts performed so far.
+    requeues: int = 0
+    #: Virtual time of the latest post (fresh, retry or requeue) — the
+    #: service-latency sample for health scoring and the service EWMA.
+    posted_at: float = 0.0
 
 
 @dataclass
@@ -109,6 +174,8 @@ class _PendingRpc:
     endpoint: QpEndpoint
     attempts: int = 0
     liveness_token: Optional[int] = None
+    #: See :attr:`_PendingCommand.expiry`.
+    expiry: Any = None
 
 
 class InitiatorServer:
@@ -185,11 +252,45 @@ class InitiatorDriver:
         costs: CpuCosts = DEFAULT_COSTS,
         hardening: Optional[DriverHardening] = None,
         steering: str = "pin",
+        rng: Optional[DeterministicRNG] = None,
+        health=None,
     ):
         self.env = env
         self.server = server
         self.costs = costs
         self.hardening = hardening if hardening is not None else DriverHardening()
+        #: Optional :class:`repro.robust.health.HealthMonitor` fed one
+        #: observation per completion/abort; ordered submissions to a
+        #: target whose breaker is open fail fast with ``STATUS_BROWNOUT``.
+        self.health = health
+        base_rng = rng if rng is not None else DeterministicRNG(0x5EED).fork(server.name)
+        #: Backoff-jitter stream, forked so it never perturbs a caller's
+        #: draw sequence; untouched (zero draws) while ``jitter == 0``.
+        self._rng = base_rng.fork("driver-backoff")
+        cfg = self.hardening
+        self.retry_budget = None
+        if cfg.retry_budget_ratio is not None:
+            # Imported here, not at module top: repro.robust.admission
+            # imports the command opcodes through the repro.nvmeof package,
+            # so a top-level import would be circular.
+            from repro.robust.admission import RetryBudget
+
+            self.retry_budget = RetryBudget(
+                ratio=cfg.retry_budget_ratio, cap=cfg.retry_budget_cap
+            )
+        #: (target name, stream id) -> status of the abort that killed it.
+        self._dead_streams: Dict[Tuple[str, int], int] = {}
+        #: (target name, stream id or None) -> shed commands awaiting the
+        #: requeue pacer; the key's pacer process is live while the key is
+        #: in ``_requeue_pacing``.
+        self._requeue_queues: Dict[Tuple[str, Any], List[_PendingCommand]] = {}
+        self._requeue_pacing: set = set()
+        #: Bounce feedback for the pacer's AIMD wave sizing: sheds whose
+        #: verdict returned since the key's last wave.
+        self._requeue_bounced: Dict[Tuple[str, Any], int] = {}
+        #: Per-target EWMA of successful command service time (deadline
+        #: fast-fail's expected-cost estimate).
+        self._service_ewma: Dict[str, float] = {}
         #: Completion-IRQ steering over the host's cores.  ``pin`` with
         #: flow key = per-connection endpoint index reproduces the
         #: historical ``cpus.pick(index)`` assignment bit-exactly.
@@ -205,6 +306,10 @@ class InitiatorDriver:
         self.rpcs_timed_out = 0
         self.reconnects = 0
         self.commands_resubmitted = 0
+        self.qfull_responses = 0
+        self.commands_requeued = 0
+        self.commands_fast_failed = 0
+        self.streams_killed = 0
         self._registered_endpoints: set = set()
         self._last_irq: Dict[int, float] = {}
         obs = env.obs
@@ -219,6 +324,10 @@ class InitiatorDriver:
             m.register_gauge("driver.reconnects", lambda: self.reconnects)
             m.register_gauge("driver.commands_resubmitted",
                              lambda: self.commands_resubmitted)
+            m.register_gauge("driver.commands_requeued",
+                             lambda: self.commands_requeued)
+            m.register_gauge("driver.commands_fast_failed",
+                             lambda: self.commands_fast_failed)
 
     # ------------------------------------------------------------------
     # Connection plumbing
@@ -253,10 +362,66 @@ class InitiatorDriver:
         yield from core.run(self._irq_cost(core))
         if message.kind == "nvme_resp":
             response, read_payload = message.payload
-            entry = self._pending.pop(response.cid, None)
+            entry = self._pending.get(response.cid)
             if entry is None:
                 return  # duplicate/stale response (retry, replay)
+            cfg = self.hardening
+            if response.status == STATUS_QFULL and cfg.qfull_backoff is not None:
+                if entry.queued:
+                    # The pacer's posted copy bounced (or a stale duplicate
+                    # shed): the entry is still in its queue — rest it for
+                    # the next wave, and feed the bounce back into the
+                    # pacer's AIMD wave sizing.
+                    entry.backing_off = True
+                    attr = entry.request.attr if entry.request is not None \
+                        else None
+                    key = (entry.ns.target.name,
+                           attr.stream_id if attr is not None else None)
+                    self._requeue_bounced[key] = (
+                        self._requeue_bounced.get(key, 0) + 1
+                    )
+                    return
+                self.qfull_responses += 1
+                request = entry.request
+                deadline = request.deadline if request is not None else None
+                if entry.requeues < cfg.qfull_max_requeues and (
+                    deadline is None or self.env.now < deadline
+                ):
+                    self._enqueue_requeue(entry)
+                    return
+                status = (
+                    STATUS_DEADLINE
+                    if deadline is not None and self.env.now >= deadline
+                    else STATUS_QFULL
+                )
+                self._abort_command(entry, status,
+                                    cause="qfull requeues exhausted")
+                return
+            del self._pending[response.cid]
             self._unwatch(entry)
+            if entry.expiry is not None:
+                entry.expiry.cancel()  # no live heap entry outlives us
+                entry.expiry = None
+            now = self.env.now
+            ok = response.status == 0
+            latency = now - entry.posted_at
+            target_name = entry.ns.target.name
+            if ok:
+                previous = self._service_ewma.get(target_name)
+                self._service_ewma[target_name] = (
+                    latency if previous is None
+                    else 0.2 * latency + 0.8 * previous
+                )
+            elif response.status == STATUS_QFULL:
+                # Final shed (no requeue configured): the stream now has a
+                # hole at the gate that nothing will fill.
+                if entry.request is not None and entry.request.attr is not None:
+                    self._kill_stream(
+                        entry.ns, entry.request.attr.stream_id, STATUS_QFULL
+                    )
+            if self.health is not None and response.status != STATUS_QFULL:
+                # Admission sheds are deliberate protection, not sickness.
+                self.health.observe(target_name, latency, ok, now)
             done, cmd = entry.done, entry.cmd
             obs = self.env.obs
             cspan = None
@@ -282,6 +447,9 @@ class InitiatorDriver:
             yield from core.run(self.costs.completion_interrupt)
             if entry is not None:
                 self._unwatch(entry)
+                if entry.expiry is not None:
+                    entry.expiry.cancel()  # no live heap entry outlives us
+                    entry.expiry = None
                 if not entry.waiter.triggered:
                     entry.waiter.succeed(payload)
 
@@ -300,7 +468,36 @@ class InitiatorDriver:
         Charges the per-command CPU cost on ``core`` and returns the
         completion :class:`Event` (value: the command).  Callers wait with
         ``done = yield from driver.submit(...)`` then ``yield done``.
+
+        Three robustness checks may fail the request locally (an already
+        triggered event is returned, ``request.status`` set) without ever
+        touching the wire: a sticky dead stream, a deadline whose remaining
+        budget is below the expected service cost, and an open circuit
+        breaker on an ordered stream's (unmigratable) target.
         """
+        now = self.env.now
+        attr = request.attr
+        if self._dead_streams and attr is not None:
+            status = self._dead_streams.get((ns.target.name, attr.stream_id))
+            if status is not None:
+                return self._fast_fail(request, status, cause="dead stream")
+        if request.deadline is not None:
+            expect = self._service_ewma.get(ns.target.name, 0.0)
+            if now + self.hardening.deadline_margin * expect > request.deadline:
+                if attr is not None:
+                    self._kill_stream(ns, attr.stream_id, STATUS_DEADLINE)
+                return self._fast_fail(request, STATUS_DEADLINE,
+                                       cause="deadline budget exhausted")
+        if (
+            self.health is not None
+            and attr is not None
+            and self.health.is_open(ns.target.name, now)
+        ):
+            # Unordered flows steer around an open breaker; an ordered
+            # stream cannot migrate, so brown it out explicitly.
+            self._kill_stream(ns, attr.stream_id, STATUS_BROWNOUT)
+            return self._fast_fail(request, STATUS_BROWNOUT,
+                                   cause="circuit breaker open")
         obs = self.env.obs
         fspan = None
         if obs is not None:
@@ -335,10 +532,29 @@ class InitiatorDriver:
         entry = _PendingCommand(
             done=done, cmd=cmd, ns=ns, request=request,
             endpoint=endpoint, nbytes=nbytes, span=fspan,
+            posted_at=self.env.now,
         )
         self._pending[cmd.cid] = entry
         self.commands_sent += 1
-        endpoint.post_send(Message(kind="nvme_cmd", payload=cmd, nbytes=nbytes))
+        if self.retry_budget is not None:
+            self.retry_budget.earn()
+        if (
+            attr is not None
+            and self._requeue_pacing
+            and self._requeue_queues.get((ns.target.name, attr.stream_id))
+        ):
+            # The stream is already wave-paced behind shed predecessors:
+            # posting now would only bounce off the target's dense
+            # admission rule.  Join the requeue queue directly (local
+            # backpressure — blk-mq's requeue-list idiom — saving the
+            # wire round-trip and the target's receive work).
+            self._enqueue_requeue(entry)
+            self.env.trace("driver", "local_requeue", cid=cmd.cid,
+                           stream=attr.stream_id, cause="stream wave-paced")
+        else:
+            endpoint.post_send(
+                Message(kind="nvme_cmd", payload=cmd, nbytes=nbytes)
+            )
         cfg = self.hardening
         if cfg.watch_liveness:
             entry.liveness_token = self.env.watch_liveness(
@@ -426,31 +642,44 @@ class InitiatorDriver:
         cfg = self.hardening
         delay = cfg.command_timeout
         while True:
-            expiry = self.env.timeout(delay)
+            armed = delay
+            if cfg.jitter > 0.0:
+                armed = self._rng.jitter(delay, cfg.jitter)
+            expiry = self.env.timeout(armed)
+            entry.expiry = expiry
             yield self.env.any_of([entry.done, expiry])
             if entry.done.triggered:
                 expiry.cancel()  # disarm: don't leak a live heap entry
                 return
             if entry.cmd.cid not in self._pending:
                 return  # completed/aborted concurrently
+            if entry.queued:
+                continue  # the requeue pacer owns the command: a watchdog
+                #           duplicate would arrive out of position order
             if entry.attempts >= cfg.max_retries:
-                self._pending.pop(entry.cmd.cid, None)
-                self._unwatch(entry)
                 self.commands_timed_out += 1
-                if entry.request is not None:
-                    entry.request.status = STATUS_TIMEOUT
-                if entry.span is not None:
-                    obs = self.env.obs
-                    if obs is not None:
-                        obs.spans.close(entry.span, status=STATUS_TIMEOUT,
-                                        aborted=1, attempts=entry.attempts)
-                self.env.trace(
-                    "driver", "command_abort", cid=entry.cmd.cid,
-                    attempts=entry.attempts, cause="retry budget exhausted",
-                )
-                if not entry.done.triggered:
-                    entry.done.succeed(entry.cmd)
+                if cfg.fail_fast and entry.request is not None \
+                        and entry.request.attr is not None:
+                    self._kill_stream(entry.ns, entry.request.attr.stream_id,
+                                      STATUS_TIMEOUT)
+                if self.health is not None:
+                    self.health.observe(entry.ns.target.name, None, False,
+                                        self.env.now)
+                self._abort_command(entry, STATUS_TIMEOUT,
+                                    cause="retry budget exhausted")
                 return
+            if (
+                self.retry_budget is not None
+                and not self.retry_budget.try_spend()
+            ):
+                # Bucket empty: suppress this retransmission and keep
+                # waiting — no storm, the original post may still answer.
+                delay *= cfg.backoff
+                self.env.trace(
+                    "driver", "retry_suppressed", cid=entry.cmd.cid,
+                    attempt=entry.attempts, cause="retry budget empty",
+                )
+                continue
             entry.attempts += 1
             self.retries += 1
             delay *= cfg.backoff
@@ -458,13 +687,18 @@ class InitiatorDriver:
                 "driver", "retry", cid=entry.cmd.cid, attempt=entry.attempts,
                 next_timeout=delay, cause="command expiry",
             )
+            entry.posted_at = self.env.now
             self._repost_command(entry)
 
     def _rpc_watchdog(self, entry: _PendingRpc):
         cfg = self.hardening
         delay = cfg.rpc_timeout
         while True:
-            expiry = self.env.timeout(delay)
+            armed = delay
+            if cfg.jitter > 0.0:
+                armed = self._rng.jitter(delay, cfg.jitter)
+            expiry = self.env.timeout(armed)
+            entry.expiry = expiry
             yield self.env.any_of([entry.waiter, expiry])
             if entry.waiter.triggered:
                 expiry.cancel()  # disarm: don't leak a live heap entry
@@ -495,6 +729,177 @@ class InitiatorDriver:
                 cause="rpc expiry",
             )
             self._repost_rpc(entry)
+
+    def _enqueue_requeue(self, entry: _PendingCommand) -> None:
+        """Queue a shed command for the per-(target, stream) requeue pacer,
+        starting the pacer if this stream has none running."""
+        attr = entry.request.attr if entry.request is not None else None
+        key = (
+            entry.ns.target.name,
+            attr.stream_id if attr is not None else None,
+        )
+        entry.queued = True
+        entry.backing_off = True
+        self._requeue_queues.setdefault(key, []).append(entry)
+        if key not in self._requeue_pacing:
+            self._requeue_pacing.add(key)
+            self.env.process(self._requeue_pacer(key))
+
+    def _requeue_pacer(self, key):
+        """Drain one stream's shed commands in position-ordered waves.
+
+        Unlike a timeout, QFULL is an *explicit* pacing signal: the target
+        is up, told us exactly why the command bounced, and frees admission
+        slots at its service rate — so the right reaction is a short fixed
+        wave period, not per-command exponential backoff (which reliably
+        parks whole streams in multi-millisecond sleeps under sustained
+        overload, leaving the admission window idle between ever-sparser
+        waves).  Re-posting each wave *in position order* matters just as
+        much: the target admits an ordered stream's positions densely, so
+        independently jittered per-command timers would scramble the order
+        and cap throughput at O(1) admissions per wave — or worse, let an
+        admitted later position camp on an admission slot at the gate
+        while the hole's command is still asleep here.  One pacer per
+        (target, stream) re-posts one wave of queued commands per period,
+        lowest position first.
+
+        Crucially, an entry *stays in the queue* from its first shed until
+        it completes or aborts: a posted entry whose verdict (admitted
+        completion, or another shed) is still on the wire is simply skipped
+        this wave, never re-posted and never removed.  Removing entries for
+        the bounce round-trip punches transient holes right at the dense
+        admission frontier — the sorted wave then admits only the few
+        positions in front of the first hole, capping goodput at a small
+        constant per wave regardless of how much admission room is free.
+
+        The wave size is AIMD-adapted (grow by one on a clean wave, halve
+        when sheds bounced since the last one, capped at ``qfull_batch``):
+        the pacer probes the target's free admission share the way a
+        congestion window probes a bottleneck.  Overshooting is not merely
+        wasted — each excess post costs the target receive work, and a
+        wave wider than the delivery rate covers in one period smears
+        across its successor, so the next wave's low positions arrive
+        interleaved *behind* this wave's stale high ones and the dense
+        frontier sheds on its own retransmissions.
+        """
+        cfg = self.hardening
+        queue = self._requeue_queues[key]
+        wave = min(cfg.qfull_batch, 8)
+        #: A posted entry whose verdict hasn't returned after a full
+        #: timeout-scale stall lost it (message drop): rest and re-post.
+        stale_after = (
+            cfg.command_timeout
+            if cfg.command_timeout is not None
+            else 4 * cfg.qfull_backoff
+        )
+        try:
+            while queue:
+                delay = cfg.qfull_backoff
+                if cfg.jitter > 0.0:
+                    delay = self._rng.jitter(delay, cfg.jitter)
+                yield self.env.timeout(delay)
+                queue[:] = [
+                    e for e in queue
+                    if not e.done.triggered and e.cmd.cid in self._pending
+                ]
+                queue.sort(
+                    key=lambda e: (
+                        e.request.attr.server_pos
+                        if e.request is not None and e.request.attr is not None
+                        else e.cmd.cid
+                    )
+                )
+                if self._requeue_bounced.pop(key, 0):
+                    wave = max(1, wave // 2)
+                else:
+                    wave = min(cfg.qfull_batch, wave + 1)
+                posted = 0
+                for entry in queue:
+                    if posted >= wave:
+                        break
+                    if not entry.backing_off:
+                        if self.env.now - entry.posted_at >= stale_after:
+                            entry.backing_off = True
+                        continue
+                    request = entry.request
+                    if (
+                        request is not None
+                        and request.deadline is not None
+                        and self.env.now >= request.deadline
+                    ):
+                        self._abort_command(
+                            entry, STATUS_DEADLINE,
+                            cause="deadline expired in requeue queue",
+                        )
+                        continue
+                    if entry.requeues >= cfg.qfull_max_requeues:
+                        self._abort_command(
+                            entry, STATUS_QFULL,
+                            cause="qfull requeues exhausted",
+                        )
+                        continue
+                    entry.requeues += 1
+                    self.commands_requeued += 1
+                    entry.backing_off = False
+                    entry.posted_at = self.env.now
+                    self.env.trace("driver", "requeue", cid=entry.cmd.cid,
+                                   requeue=entry.requeues, cause="target qfull")
+                    self._repost_command(entry)
+                    posted += 1
+        finally:
+            self._requeue_pacing.discard(key)
+            self._requeue_bounced.pop(key, None)
+
+    def _abort_command(
+        self, entry: _PendingCommand, status: int, cause: str
+    ) -> None:
+        """Error-complete a pending command locally (timeout exhaustion,
+        QFULL-requeue exhaustion).  An ordered stream is killed sticky when
+        the shed/deadline machinery aborts it — its position history now
+        has a permanent hole at the target gate."""
+        self._pending.pop(entry.cmd.cid, None)
+        self._unwatch(entry)
+        if entry.expiry is not None:
+            entry.expiry.cancel()
+            entry.expiry = None
+        request = entry.request
+        if request is not None:
+            request.status = status
+            if status in (STATUS_QFULL, STATUS_DEADLINE) \
+                    and request.attr is not None:
+                self._kill_stream(entry.ns, request.attr.stream_id, status)
+        if entry.span is not None:
+            obs = self.env.obs
+            if obs is not None:
+                obs.spans.close(entry.span, status=status, aborted=1,
+                                attempts=entry.attempts)
+        self.env.trace(
+            "driver", "command_abort", cid=entry.cmd.cid,
+            attempts=entry.attempts, cause=cause,
+        )
+        if not entry.done.triggered:
+            entry.done.succeed(entry.cmd)
+
+    def _kill_stream(
+        self, ns: RemoteNamespace, stream_id: int, status: int
+    ) -> None:
+        key = (ns.target.name, stream_id)
+        if key not in self._dead_streams:
+            self._dead_streams[key] = status
+            self.streams_killed += 1
+            self.env.trace("driver", "stream_dead", target=ns.target.name,
+                           stream=stream_id, status=status)
+
+    def _fast_fail(self, request: BlockRequest, status: int, cause: str):
+        """Complete ``request`` locally without posting anything: returns
+        an already-triggered event, ``request.status`` set."""
+        self.commands_fast_failed += 1
+        request.status = status
+        self.env.trace("driver", "fast_fail", op=request.op,
+                       stream=request.stream_id, status=status, cause=cause)
+        done = Event(self.env)
+        done.succeed(None)
+        return done
 
     def _repost_command(self, entry: _PendingCommand) -> None:
         """Retransmit without CPU charge (timer/IRQ context)."""

@@ -30,6 +30,7 @@ from repro.nvmeof.command import (
     OP_FLUSH,
     OP_READ,
     OP_WRITE,
+    STATUS_QFULL,
     NvmeCommand,
     NvmeResponse,
 )
@@ -144,9 +145,14 @@ class TargetServer:
         self.irq_steering = CoreSteering(irq_cores, steering)
         self.completion_steering = CoreSteering(completion_cores, steering)
         self.policy: TargetPolicy = TargetPolicy()
+        #: Optional admission controller (overload plane); installed via
+        #: :meth:`install_admission`.  None = admit everything (stock
+        #: behaviour, zero extra work).
+        self.admission = None
         self.crashed = False
         self.endpoints: List[QpEndpoint] = []
         self.commands_received = 0
+        self.commands_shed = 0
         self.duplicates_suppressed = 0
         #: Power-cycle count: the epoch column of the audit log (replays
         #: after a restart legitimately reuse per-server positions).
@@ -163,6 +169,23 @@ class TargetServer:
     def install_policy(self, policy: TargetPolicy) -> None:
         self.policy = policy
         policy.attach(self)
+
+    def install_admission(self, config=None) -> None:
+        """Arm admission control (overload plane).  ``config`` is an
+        :class:`~repro.robust.admission.AdmissionConfig`, an
+        :class:`~repro.robust.admission.AdmissionController`, or None for
+        the defaults."""
+        from repro.robust.admission import AdmissionController
+
+        if isinstance(config, AdmissionController):
+            self.admission = config
+        else:
+            self.admission = AdmissionController(config)
+        obs = self.env.obs
+        if obs is not None:
+            obs.metrics.register_gauge(
+                f"target.{self.name}.commands_shed", lambda: self.commands_shed
+            )
 
     def attach_connection(self, endpoints: List[QpEndpoint]) -> None:
         """Register receive handling for target-side QP endpoints.
@@ -201,6 +224,32 @@ class TargetServer:
         for endpoint in self.endpoints:
             endpoint.restart()
         self.policy.on_restart()
+        if self.admission is not None:
+            # Per-server positions are legitimately replayed in the new
+            # restart epoch — stale suffix markers must not shed them.
+            self.admission.reset_markers()
+
+    # ------------------------------------------------------------------
+    # Gray failure: fail-slow service degradation
+    # ------------------------------------------------------------------
+
+    def degrade(self, factor: float) -> None:
+        """Inflate this server's service times by ``factor`` (a gray
+        failure: everything still completes, just slower — a dying disk,
+        thermal throttling, a misbehaving NIC firmware)."""
+        if factor < 1.0:
+            raise ValueError("degrade factor must be >= 1")
+        self.env.trace("fault", "degrade", target=self.name, factor=factor)
+        for ssd in self.ssds:
+            ssd.service_inflation = factor
+        self.nic.inflation = factor
+
+    def restore(self) -> None:
+        """End a :meth:`degrade` episode."""
+        self.env.trace("fault", "degrade_end", target=self.name)
+        for ssd in self.ssds:
+            ssd.service_inflation = 1.0
+        self.nic.inflation = 1.0
 
     # ------------------------------------------------------------------
     # Transient faults: stall + duplicate audit
@@ -322,9 +371,40 @@ class TargetServer:
         return self.costs.irq_entry
 
     def _handle_command(self, ctx: TargetContext, cmd: NvmeCommand):
-        core, endpoint = ctx.core, ctx.endpoint
+        core = ctx.core
         self.commands_received += 1
         yield from core.run(self.costs.recv_process)
+        if self.admission is None:
+            yield from self._execute_command(ctx, cmd)
+            return
+        # Admission decision *before* the policy hooks, the barrier-ticket
+        # reservation and the data fetch: a shed command costs one receive
+        # and one response, never an RDMA READ or an SSD slot.
+        token, reason = self.admission.admit(cmd, self.env.now)
+        if token is None:
+            self.commands_shed += 1
+            self.env.trace(
+                "target", "shed", target=self.name, cid=cmd.cid,
+                opcode=cmd.opcode, cause=reason,
+            )
+            yield from ctx.completion_core.run(self.costs.response_post)
+            ctx.endpoint.post_send(
+                Message(
+                    kind="nvme_resp",
+                    payload=(NvmeResponse(cid=cmd.cid, status=STATUS_QFULL), None),
+                    nbytes=NvmeResponse.WIRE_SIZE,
+                )
+            )
+            return
+        try:
+            yield from self._execute_command(ctx, cmd)
+        finally:
+            # Runs on the normal exit *and* while unwinding a CrashedError:
+            # every admitted command is completed exactly once.
+            self.admission.complete(token, self.env.now)
+
+    def _execute_command(self, ctx: TargetContext, cmd: NvmeCommand):
+        core, endpoint = ctx.core, ctx.endpoint
         yield from self.policy.on_receive(ctx, cmd)
         if self.crashed:
             return

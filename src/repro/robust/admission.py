@@ -1,0 +1,266 @@
+"""Target admission control and the initiator-side retry budget.
+
+**Admission** (:class:`AdmissionController`) sits in the target's receive
+path, after the RECV completion is processed but *before* the ordering
+policy runs and before any data is fetched — a shed command costs the
+target one receive and one response, never an RDMA READ or an SSD slot.
+Two triggers shed load:
+
+* a **queue-depth cap** per class (ordered vs. unordered) on commands
+  admitted and not yet completed;
+* a **CoDel-style sojourn threshold**: when the EWMA of time-in-target of
+  completing commands exceeds the target sojourn, new arrivals are shed
+  even though the queue cap has not been hit (standing-queue detection).
+
+**Ordering × shedding.**  An ordered stream's durable history must stay a
+prefix: the target-side gate admits dense per-server positions, so a shed
+command can never be "skipped over".  The controller therefore sheds a
+whole *suffix*: rejecting position ``p`` of a stream plants a marker, and
+every later position of that stream is shed until ``p`` itself is
+admitted (the driver re-posts the same command — same CID, same
+attribute — after a backoff).  The invariant tested by the property suite
+is that an ordered position is only ever admitted when every smaller
+position of its stream has been admitted before it.
+
+**Retry budget** (:class:`RetryBudget`) is the initiator-side half: a
+token bucket that earns a fixed fraction of a token per *fresh* command
+and spends one token per retransmission, so retries are bounded to that
+fraction of fresh traffic and synchronized expiries cannot snowball into
+a retry storm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.nvmeof.command import OP_WRITE
+
+__all__ = ["AdmissionConfig", "AdmissionController", "RetryBudget"]
+
+#: Admission classes.
+ORDERED = "ordered"
+UNORDERED = "unordered"
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Tuning knobs of one target's admission controller."""
+
+    #: Queue-depth cap per class: commands admitted and not yet completed.
+    max_inflight_ordered: int = 64
+    max_inflight_unordered: int = 64
+    #: CoDel-style sojourn threshold in seconds (None disables): shed new
+    #: arrivals while the EWMA time-in-target exceeds this.
+    sojourn_target: Optional[float] = None
+    #: EWMA smoothing factor for the sojourn estimate.
+    sojourn_alpha: float = 0.2
+    #: Never sojourn-shed below this inflight count — an almost idle
+    #: target with one slow command is not a standing queue.
+    sojourn_min_inflight: int = 8
+
+    def __post_init__(self):
+        if self.max_inflight_ordered < 1 or self.max_inflight_unordered < 1:
+            raise ValueError("admission caps must be >= 1")
+        if self.sojourn_target is not None and self.sojourn_target <= 0:
+            raise ValueError("sojourn_target must be positive")
+        if not 0.0 < self.sojourn_alpha <= 1.0:
+            raise ValueError("sojourn_alpha must be in (0, 1]")
+
+
+class AdmissionController:
+    """Bounded per-class admission with ordering-aware suffix shedding.
+
+    Usage (the target server does this)::
+
+        token, reason = controller.admit(cmd, env.now)
+        if token is None:
+            ...error-complete with STATUS_QFULL (reason says why)...
+        try:
+            ...execute the command...
+        finally:
+            controller.complete(token, env.now)
+
+    Every admitted token is completed exactly once (command conservation),
+    including when the command dies mid-flight to a target crash — the
+    ``finally`` runs during generator unwinding.
+    """
+
+    def __init__(self, config: Optional[AdmissionConfig] = None):
+        self.config = config if config is not None else AdmissionConfig()
+        self._tokens = count(1)
+        #: token -> (class, admit time).
+        self._entries: Dict[int, Tuple[str, float]] = {}
+        self._inflight: Dict[str, int] = {ORDERED: 0, UNORDERED: 0}
+        self._sojourn_ewma: Dict[str, Optional[float]] = {
+            ORDERED: None, UNORDERED: None,
+        }
+        #: Ordered suffix markers: stream -> first shed position.  While a
+        #: marker is planted, every position >= it is shed until the marker
+        #: position itself is admitted.
+        self._shed_from: Dict[int, int] = {}
+        #: Highest first-time-admitted position per stream (the prefix
+        #: high-water mark the property suite checks against).
+        self.admitted_upto: Dict[int, int] = {}
+        self.admitted = 0
+        self.shed = 0
+        self.shed_by_reason: Dict[str, int] = {}
+        #: Every ordered shed, in order: (stream, position, reason).
+        self.shed_log: List[Tuple[int, int, str]] = []
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _attr_of(cmd) -> Any:
+        request = getattr(cmd, "context", None)
+        return getattr(request, "attr", None) if request is not None else None
+
+    def classify(self, cmd) -> str:
+        attr = self._attr_of(cmd)
+        if attr is not None and cmd.opcode == OP_WRITE:
+            return ORDERED
+        return UNORDERED
+
+    def sojourn_estimate(self, cls: str) -> Optional[float]:
+        return self._sojourn_ewma[cls]
+
+    def inflight(self, cls: str) -> int:
+        return self._inflight[cls]
+
+    # ------------------------------------------------------------------
+
+    def admit(self, cmd, now: float) -> Tuple[Optional[int], Optional[str]]:
+        """Decide one arrival: ``(token, None)`` or ``(None, reason)``."""
+        cls = self.classify(cmd)
+        attr = self._attr_of(cmd) if cls == ORDERED else None
+        stream = attr.stream_id if attr is not None else None
+        pos = attr.server_pos if attr is not None else None
+
+        if stream is not None and pos <= self.admitted_upto.get(stream, -1):
+            # A retransmission of a position already admitted once: the
+            # gate will suppress it as a duplicate, so ordering does not
+            # depend on it — never plant a suffix marker for it (the hole
+            # it would mark does not exist and nothing would fill it).
+            stream = pos = None
+            cls = UNORDERED
+
+        if stream is not None:
+            marker = self._shed_from.get(stream)
+            if marker is not None and pos > marker:
+                # Suffix rule: a later position of a shed stream must not
+                # slip past the hole at ``marker``.
+                return None, self._reject(cls, stream, pos, "suffix")
+            if pos > self.admitted_upto.get(stream, -1) + 1:
+                # Dense rule: admitting past a hole would park this command
+                # at the target's in-order gate *while holding an admission
+                # slot*; with the hole's command backing off at the
+                # initiator, enough such parkers wedge the whole window
+                # (slots free only on completion, completion needs the
+                # hole).  Shedding keeps every admitted ordered command
+                # immediately runnable.
+                return None, self._reject(cls, stream, pos, "gap")
+
+        cap = (
+            self.config.max_inflight_ordered
+            if cls == ORDERED
+            else self.config.max_inflight_unordered
+        )
+        if self._inflight[cls] >= cap:
+            return None, self._reject(cls, stream, pos, "qfull")
+        sojourn = self._sojourn_ewma[cls]
+        if (
+            self.config.sojourn_target is not None
+            and sojourn is not None
+            and sojourn > self.config.sojourn_target
+            and self._inflight[cls] >= self.config.sojourn_min_inflight
+        ):
+            return None, self._reject(cls, stream, pos, "sojourn")
+
+        if stream is not None:
+            if self._shed_from.get(stream) == pos:
+                del self._shed_from[stream]  # the hole is being filled
+            upto = self.admitted_upto.get(stream, -1)
+            self.admitted_upto[stream] = max(upto, pos)
+        token = next(self._tokens)
+        self._entries[token] = (cls, now)
+        self._inflight[cls] += 1
+        self.admitted += 1
+        return token, None
+
+    def _reject(self, cls: str, stream, pos, reason: str) -> str:
+        self.shed += 1
+        self.shed_by_reason[reason] = self.shed_by_reason.get(reason, 0) + 1
+        if stream is not None:
+            marker = self._shed_from.get(stream)
+            if marker is None or pos < marker:
+                self._shed_from[stream] = pos
+            self.shed_log.append((stream, pos, reason))
+        return reason
+
+    def complete(self, token: int, now: float) -> None:
+        """Account one admitted command's exit (response posted, or the
+        handler unwound because the server crashed)."""
+        entry = self._entries.pop(token, None)
+        if entry is None:
+            return
+        cls, admitted_at = entry
+        self._inflight[cls] -= 1
+        sojourn = now - admitted_at
+        previous = self._sojourn_ewma[cls]
+        if previous is None:
+            self._sojourn_ewma[cls] = sojourn
+        else:
+            alpha = self.config.sojourn_alpha
+            self._sojourn_ewma[cls] = alpha * sojourn + (1 - alpha) * previous
+
+    def reset_markers(self) -> None:
+        """Forget suffix markers (target restart: per-server positions are
+        legitimately replayed in the new epoch)."""
+        self._shed_from.clear()
+        self.admitted_upto.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"<AdmissionController admitted={self.admitted} shed={self.shed} "
+            f"inflight={dict(self._inflight)}>"
+        )
+
+
+@dataclass
+class RetryBudget:
+    """Token-bucket retry budget: retries are a bounded fraction of fresh
+    traffic.
+
+    Each fresh command earns ``ratio`` tokens (clipped at ``cap``); each
+    retransmission spends one whole token.  With the bucket empty the
+    retransmission is suppressed — the command keeps waiting for its
+    original post instead of joining a storm.  Total retries are
+    therefore bounded by ``cap + ratio * fresh_commands``.
+    """
+
+    ratio: float = 0.2
+    cap: float = 8.0
+    tokens: float = field(init=False)
+    earned: int = field(init=False, default=0)
+    spent: int = field(init=False, default=0)
+    suppressed: int = field(init=False, default=0)
+
+    def __post_init__(self):
+        if not 0.0 <= self.ratio <= 1.0:
+            raise ValueError("retry budget ratio must be in [0, 1]")
+        if self.cap < 1.0:
+            raise ValueError("retry budget cap must be >= 1")
+        self.tokens = self.cap  # start full: cold-start retries allowed
+
+    def earn(self) -> None:
+        self.earned += 1
+        self.tokens = min(self.cap, self.tokens + self.ratio)
+
+    def try_spend(self) -> bool:
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.spent += 1
+            return True
+        self.suppressed += 1
+        return False

@@ -1,0 +1,192 @@
+"""Per-target health scoring and the gray-failure circuit breaker.
+
+A fail-slow ("gray") target answers every command, just 5–20× slower —
+nothing times out cleanly, but every flow pinned to it browns out while
+bystanders are fine.  The :class:`HealthMonitor` detects this from the
+initiator's own completion stream, with no extra messages:
+
+* a **fast** EWMA (high alpha) tracks recent per-command service latency,
+  a **slow** EWMA (tiny alpha) tracks the long-run baseline; their ratio
+  is a scale-free fail-slow detector that needs no absolute threshold;
+* an **error** EWMA tracks the fraction of non-success completions
+  (timeouts, aborts);
+* a per-target **circuit breaker** trips open when either signal crosses
+  its threshold, half-opens after ``recovery_time`` to let a probe
+  command judge recovery, and closes again on a healthy probe.
+
+**Ordering × failover.**  Unordered flows consult :meth:`pick` and steer
+to the healthiest target — they can migrate freely.  Ordered streams
+cannot (their per-server position history lives on one target), so the
+initiator driver fails their submissions fast with ``STATUS_BROWNOUT``
+while the breaker is open: an explicit brownout beats an unbounded queue.
+
+Observations are pushed by the initiator driver; the monitor itself
+draws no randomness and schedules no events, so attaching it never
+perturbs a deterministic run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+__all__ = ["HealthConfig", "TargetHealth", "HealthMonitor"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Tuning knobs of the health monitor and circuit breaker."""
+
+    #: Smoothing of the recent-latency estimate (reacts within ~10 cmds).
+    fast_alpha: float = 0.3
+    #: Smoothing of the long-run baseline.  Must be stiff enough that the
+    #: baseline does not chase a fail-slow episode: at 0.02 a hundred sick
+    #: completions drag the baseline ~90% of the way to the sick latency
+    #: and the fast/slow ratio collapses back under the trip factor before
+    #: the breaker fires.  0.005 keeps the baseline within ~5% of healthy
+    #: over the ~10 samples the fast EWMA needs to reach the sick level.
+    slow_alpha: float = 0.005
+    #: Smoothing of the error-fraction estimate.
+    error_alpha: float = 0.1
+    #: Trip when fast/slow latency exceeds this ratio (fail-slow).
+    trip_latency_factor: float = 4.0
+    #: Trip when the error EWMA exceeds this fraction (erroring target).
+    trip_error_rate: float = 0.5
+    #: Minimum observations before the breaker may trip (warm-up guard).
+    min_samples: int = 16
+    #: Virtual seconds an open breaker waits before half-opening.
+    recovery_time: float = 200e-6
+
+
+@dataclass
+class TargetHealth:
+    """Mutable health state of one target."""
+
+    fast: Optional[float] = None
+    slow: Optional[float] = None
+    error_rate: float = 0.0
+    samples: int = 0
+    state: str = CLOSED
+    opened_at: float = 0.0
+    trips: int = 0
+
+    @property
+    def latency_ratio(self) -> float:
+        if self.fast is None or self.slow is None or self.slow <= 0:
+            return 1.0
+        return self.fast / self.slow
+
+    def score(self) -> float:
+        """Higher is sicker: latency inflation plus an error penalty."""
+        return self.latency_ratio + 10.0 * self.error_rate
+
+
+class HealthMonitor:
+    """EWMA health scores + circuit breakers for a set of targets."""
+
+    def __init__(self, config: Optional[HealthConfig] = None, env=None):
+        self.config = config if config is not None else HealthConfig()
+        #: Optional environment for tracing breaker transitions.
+        self.env = env
+        self._targets: Dict[str, TargetHealth] = {}
+        self.observations = 0
+        self.failovers = 0
+
+    def target(self, name: str) -> TargetHealth:
+        health = self._targets.get(name)
+        if health is None:
+            health = self._targets[name] = TargetHealth()
+        return health
+
+    def states(self) -> Dict[str, str]:
+        return {name: h.state for name, h in self._targets.items()}
+
+    # ------------------------------------------------------------------
+
+    def observe(
+        self,
+        name: str,
+        latency: Optional[float],
+        ok: bool,
+        now: float,
+    ) -> None:
+        """Fold one completion (or abort: ``latency=None``) into the score."""
+        cfg = self.config
+        h = self.target(name)
+        self.observations += 1
+        h.samples += 1
+        h.error_rate += cfg.error_alpha * ((0.0 if ok else 1.0) - h.error_rate)
+        if latency is not None:
+            h.fast = (
+                latency if h.fast is None
+                else cfg.fast_alpha * latency + (1 - cfg.fast_alpha) * h.fast
+            )
+            h.slow = (
+                latency if h.slow is None
+                else cfg.slow_alpha * latency + (1 - cfg.slow_alpha) * h.slow
+            )
+        if h.state == HALF_OPEN:
+            if ok and h.latency_ratio <= cfg.trip_latency_factor:
+                self._close(name, h)
+            else:
+                self._open(name, h, now, cause="probe failed")
+        elif h.state == CLOSED and h.samples >= cfg.min_samples:
+            if h.latency_ratio > cfg.trip_latency_factor:
+                self._open(name, h, now, cause="fail-slow")
+            elif h.error_rate > cfg.trip_error_rate:
+                self._open(name, h, now, cause="errors")
+
+    def _open(self, name: str, h: TargetHealth, now: float, cause: str) -> None:
+        h.state = OPEN
+        h.opened_at = now
+        h.trips += 1
+        if self.env is not None:
+            self.env.trace("health", "breaker_open", target=name, cause=cause,
+                           ratio=round(h.latency_ratio, 2),
+                           error_rate=round(h.error_rate, 3))
+
+    def _close(self, name: str, h: TargetHealth) -> None:
+        h.state = CLOSED
+        # Re-anchor the recent estimate on the baseline so the stale
+        # sick-period latency cannot immediately re-trip the breaker.
+        if h.slow is not None:
+            h.fast = h.slow
+        h.error_rate = 0.0
+        if self.env is not None:
+            self.env.trace("health", "breaker_close", target=name)
+
+    # ------------------------------------------------------------------
+
+    def is_open(self, name: str, now: float) -> bool:
+        """True while the breaker blocks traffic to ``name``.
+
+        An open breaker half-opens once ``recovery_time`` has elapsed:
+        the next command is let through as a probe and its completion
+        decides between closing and re-opening.
+        """
+        h = self._targets.get(name)
+        if h is None or h.state == CLOSED:
+            return False
+        if h.state == OPEN:
+            if now - h.opened_at >= self.config.recovery_time:
+                h.state = HALF_OPEN
+                return False
+            return True
+        return False  # half-open: probe traffic flows
+
+    def pick(self, names: Sequence[str], now: float) -> str:
+        """The healthiest target for an unordered flow: any closed-breaker
+        target with the lowest score; falls back to the least-sick one
+        when every breaker is open (shedding everywhere beats wedging)."""
+        if not names:
+            raise ValueError("pick() needs at least one candidate")
+        healthy = [n for n in names if not self.is_open(n, now)]
+        pool = healthy if healthy else list(names)
+        best = min(pool, key=lambda n: self.target(n).score())
+        if healthy and len(healthy) < len(names):
+            self.failovers += 1
+        return best

@@ -185,6 +185,38 @@ class ScaleOutCluster:
             view = _NodeClusterView(self, server, driver, namespaces)
             self.nodes.append(ScaleNode(iid, server, driver, namespaces, view))
 
+    # -- robustness plane --------------------------------------------------
+
+    def attach_health(self, config=None) -> List[Any]:
+        """Install a :class:`~repro.robust.health.HealthMonitor` on every
+        node's driver (one monitor per node: health is judged from each
+        initiator's own completion stream).  Returns the monitors,
+        node-indexed."""
+        from repro.robust.health import HealthMonitor
+
+        monitors = []
+        for node in self.nodes:
+            monitor = HealthMonitor(config, env=self.env)
+            node.driver.health = monitor
+            monitors.append(monitor)
+        return monitors
+
+    def install_admission(self, config=None) -> None:
+        """Install target-side admission control on every shared target."""
+        for target in self.targets:
+            target.install_admission(config)
+
+    def healthy_target_for(self, node_index: int, now: float) -> int:
+        """Index of the healthiest target by node ``node_index``'s monitor
+        (for steering *unordered* flows; ordered streams cannot migrate).
+        Falls back to target 0 when no monitor is attached."""
+        driver = self.nodes[node_index].driver
+        if driver.health is None:
+            return 0
+        names = [t.name for t in self.targets]
+        best = driver.health.pick(names, now)
+        return names.index(best)
+
     # -- single-initiator compatibility surface ----------------------------
     # The crash oracle's workload/recovery drivers address "the
     # initiator"; on a scale-out cluster that is the coordinator, node 0.
@@ -315,6 +347,7 @@ class ShardedStack:
         flush: bool = False,
         ipu: bool = False,
         kick: Optional[bool] = None,
+        deadline: Optional[float] = None,
     ):
         bio = Bio(
             op="write",
@@ -323,6 +356,7 @@ class ShardedStack:
             payload=payload,
             stream_id=stream_id,
             flags=WriteFlags(ipu=ipu),
+            deadline=deadline,
         )
         return (yield from self.submit_ordered(core, bio, end_of_group,
                                                flush, kick))

@@ -141,6 +141,26 @@ class FaultPlan:
         )
         return self
 
+    def degrade(
+        self,
+        at: float,
+        target_index: int,
+        factor: float,
+        duration: Optional[float] = None,
+    ) -> "FaultPlan":
+        """Gray failure: multiply one target's service times (SSD media and
+        NIC wire) by ``factor`` starting at ``at``; restore after
+        ``duration`` seconds (None = stays degraded).  Nothing errors and
+        nothing crashes — the target just gets slow."""
+        if factor < 1.0:
+            raise ValueError("degrade factor must be >= 1")
+        self._timed.append(
+            ("degrade", at,
+             {"target_index": target_index, "factor": factor,
+              "duration": duration})
+        )
+        return self
+
     # ------------------------------------------------------------------
     # Installation
     # ------------------------------------------------------------------
@@ -174,6 +194,16 @@ class FaultPlan:
             detail["target"] = target.name
             self.record(kind, **detail)
             target.stall(detail["duration"])
+        elif kind == "degrade":
+            target = cluster.targets[detail["target_index"] % len(cluster.targets)]
+            detail["target"] = target.name
+            self.record(kind, **detail)
+            target.degrade(detail["factor"])
+            duration = detail.get("duration")
+            if duration is not None:
+                yield env.timeout(duration)
+                self.record("degrade_end", target=target.name)
+                target.restore()
         elif kind == "target_crash":
             target = cluster.targets[detail["target_index"] % len(cluster.targets)]
             detail["target"] = target.name

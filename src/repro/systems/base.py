@@ -53,6 +53,7 @@ class OrderedStack:
         flush: bool = False,
         ipu: bool = False,
         kick: Optional[bool] = None,
+        deadline: Optional[float] = None,
     ):
         """Generator: convenience wrapper building the bio inline."""
         bio = Bio(
@@ -62,6 +63,7 @@ class OrderedStack:
             payload=payload,
             stream_id=stream_id,
             flags=WriteFlags(ipu=ipu),
+            deadline=deadline,
         )
         return (yield from self.submit_ordered(core, bio, end_of_group, flush, kick))
 

@@ -1,0 +1,129 @@
+"""Unit tests of the health monitor: fail-slow detection, the circuit
+breaker lifecycle, and health-aware target picking."""
+
+from repro.robust.health import HealthConfig, HealthMonitor
+
+
+def feed(monitor, name, latency, n, ok=True, start=0.0, step=1e-6):
+    now = start
+    for _ in range(n):
+        monitor.observe(name, latency, ok, now)
+        now += step
+    return now
+
+
+def test_fail_slow_trips_after_warmup():
+    m = HealthMonitor()
+    now = feed(m, "t0", 10e-6, 20)
+    assert m.target("t0").state == "closed"
+    # An 8x latency step: the fast EWMA reaches it within a few samples
+    # while the slow baseline barely moves.
+    feed(m, "t0", 80e-6, 10, start=now)
+    h = m.target("t0")
+    assert h.trips == 1
+    assert h.state == "open"
+    assert h.latency_ratio > 4.0
+
+
+def test_min_samples_guards_cold_start():
+    m = HealthMonitor(HealthConfig(min_samples=16))
+    # Huge scatter in the first few samples must not trip the breaker.
+    m.observe("t0", 1e-6, True, 0.0)
+    m.observe("t0", 500e-6, True, 1e-6)
+    assert m.target("t0").state == "closed"
+    assert m.target("t0").trips == 0
+
+
+def test_error_rate_trips_breaker():
+    m = HealthMonitor()
+    now = feed(m, "t0", 10e-6, 20)
+    feed(m, "t0", None, 10, ok=False, start=now)  # aborts: no latency
+    h = m.target("t0")
+    assert h.error_rate > 0.5
+    assert h.state == "open"
+
+
+def test_open_breaker_half_opens_after_recovery_time():
+    cfg = HealthConfig(recovery_time=200e-6)
+    m = HealthMonitor(cfg)
+    now = feed(m, "t0", 10e-6, 20)
+    now = feed(m, "t0", 100e-6, 10, start=now)
+    assert m.target("t0").state == "open"
+    opened = m.target("t0").opened_at
+    assert m.is_open("t0", opened + 100e-6)       # still open
+    assert not m.is_open("t0", opened + 250e-6)   # half-open: probe flows
+    assert m.target("t0").state == "half-open"
+
+
+def test_healthy_probes_close_and_reanchor():
+    m = HealthMonitor()
+    now = feed(m, "t0", 10e-6, 20)
+    now = feed(m, "t0", 100e-6, 10, start=now)
+    h = m.target("t0")
+    assert not m.is_open("t0", h.opened_at + 1.0)  # half-open
+    # Each healthy probe pulls the fast EWMA down; a probe that still
+    # looks sick reopens the breaker, so the driver waits out another
+    # recovery period before the next one.  A recovered target closes
+    # within a few probe rounds.
+    t = now + 1.0
+    for _ in range(10):
+        if not m.is_open("t0", t):
+            m.observe("t0", 10e-6, True, t)
+        if h.state == "closed":
+            break
+        t += m.config.recovery_time + 1e-6
+    assert h.state == "closed"
+    # The sick-period fast EWMA was re-anchored on the baseline so the
+    # stale estimate cannot immediately re-trip the breaker.
+    assert h.latency_ratio <= 1.5
+    assert not m.is_open("t0", now + 2.0)
+
+
+def test_sick_probe_reopens():
+    m = HealthMonitor()
+    now = feed(m, "t0", 10e-6, 20)
+    now = feed(m, "t0", 100e-6, 10, start=now)
+    h = m.target("t0")
+    assert not m.is_open("t0", h.opened_at + 1.0)  # half-open
+    m.observe("t0", 100e-6, True, now + 1.0)       # probe still slow
+    assert h.state == "open"
+    assert h.trips == 2
+
+
+def test_pick_steers_away_from_open_breaker_and_counts_failovers():
+    m = HealthMonitor()
+    now = feed(m, "sick", 10e-6, 20)
+    feed(m, "well", 10e-6, 20)
+    feed(m, "sick", 100e-6, 10, start=now)
+    assert m.target("sick").state == "open"
+    assert m.failovers == 0
+    chosen = m.pick(["sick", "well"], now)
+    assert chosen == "well"
+    assert m.failovers == 1
+
+
+def test_pick_falls_back_to_least_sick_when_all_open():
+    m = HealthMonitor()
+    for name, sick_latency in (("a", 100e-6), ("b", 400e-6)):
+        now = feed(m, name, 10e-6, 20)
+        feed(m, name, sick_latency, 10, start=now)
+        assert m.target(name).state == "open"
+    before = m.failovers
+    assert m.pick(["a", "b"], 1e-3) == "a"  # lower score, still open
+    assert m.failovers == before  # shedding everywhere is not a failover
+
+
+def test_slow_baseline_does_not_chase_a_long_sick_episode():
+    """The regression the gray scenario caught: a baseline EWMA that
+    adapts to the sick latency collapses the trip ratio before the
+    breaker can fire.  Over a hundred sick samples the baseline must
+    stay close enough to healthy that the ratio holds above the trip
+    factor the whole way."""
+    m = HealthMonitor()
+    now = feed(m, "t0", 25e-6, 100)
+    feed(m, "t0", 160e-6, 100, start=now)
+    h = m.target("t0")
+    assert h.trips == 1
+    # The trip fired within the first handful of sick completions —
+    # before the baseline had any chance to follow the sick latency.
+    assert h.opened_at <= now + 5e-6
