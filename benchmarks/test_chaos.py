@@ -21,11 +21,12 @@ from repro.harness.chaos import (
     run_chaos_trial,
     run_scale_chaos_trial,
 )
+from repro.sim.faults import FaultPlan
 
 SYSTEMS = ("rio", "horae", "linux")
 
 
-def assert_trial_ok(result):
+def assert_trial_ok(result, max_live_heap=4):
     assert not result.deadlocked, (
         f"{result.system} seed={result.seed}: {result.deadlock_reason}"
     )
@@ -37,7 +38,11 @@ def assert_trial_ok(result):
     assert result.leak_error == "", result.leak_error
     # Completed watchdog arms must disarm their expiry timers: a trial
     # used to end with dozens of stale armed timeouts still on the heap.
-    assert result.heap_live_entries <= 4, (
+    # A small allowance remains because the final group's completion stops
+    # the clock mid-tick: watchdogs for commands completing in that same
+    # instant never get to run their disarm callbacks, so deep-queue
+    # trials pass a proportionally larger ``max_live_heap``.
+    assert result.heap_live_entries <= max_live_heap, (
         f"{result.system} seed={result.seed}: "
         f"{result.heap_live_entries} live heap entries leaked"
     )
@@ -79,6 +84,60 @@ def test_chaos_smoke(benchmark):
     results = run_once(benchmark, smoke)
     for result in results:
         assert_trial_ok(result)
+
+
+def test_qualification_crash_during_cache_drain(benchmark):
+    """Seeded regression on the qualification layout: a deep ordered burst
+    onto the small-cache PM981 variant prefilled into steady-state GC, with
+    a QP breakdown, a target stall and a full target power cycle landing
+    while the write cache is draining under eviction pressure.
+
+    The crash drops the volatile cache mid-drain, so the driver's watchdog
+    resubmits everything the target acknowledged but lost — the worst case
+    for the target-side admission audit.  Every chaos invariant must
+    survive the crash epoch: retransmits admitted exactly once, per-stream
+    order intact, no leaks, no wedge.
+    """
+    def plan():
+        return (
+            FaultPlan(seed=9041, message_loss=0.02, corruption=0.005,
+                      delay_probability=0.02, delay_range=(5e-6, 40e-6))
+            .qp_breakdown(at=60e-6, qp_index=1)
+            .target_stall(at=110e-6, target_index=0, duration=60e-6)
+            .target_crash(at=220e-6, target_index=0, restart_after=150e-6)
+        )
+
+    def trials():
+        return [
+            run_chaos_trial(
+                system=system, seed=9041, layout="flash-qual", prefill=0.92,
+                threads=4, groups_per_thread=64, writes_per_group=4,
+                depth=256, plan=plan(),
+            )
+            for system in SYSTEMS
+        ]
+
+    for result in run_once(benchmark, trials):
+        # 4 threads x depth 256: allow one tick's worth of still-armed
+        # watchdogs per thread at the stop instant (see assert_trial_ok).
+        assert_trial_ok(result, max_live_heap=16)
+        # The crash actually landed and forced recovery work.
+        assert result.fault_counts.get("target_crash", 0) >= 1
+        assert result.reconnects >= 1, result.summary()
+        # Recovery work happened: command resubmits (rio/linux driver) or
+        # RPC retries (horae's ordering-metadata path).
+        assert result.commands_resubmitted + result.retries > 0, (
+            result.summary()
+        )
+        # ... in the qualification regime, not on an idle fresh drive: the
+        # device was GC-active with the cache under eviction pressure, and
+        # it power-cycled mid-run.
+        health = result.device_health["target0-ssd0"]
+        assert health["gc_active"] == 1.0, health
+        assert health["write_amp"] > 1.05, health
+        assert health["cache_evictions"] > 0, health
+        assert health["power_cycles"] >= 1.0, health
+    benchmark.extra_info["systems"] = len(SYSTEMS)
 
 
 def test_multi_initiator_qp_breakdown_spares_bystander(benchmark):

@@ -220,6 +220,7 @@ def check_cell(
     flush_every: int = 2,
     max_points: int = 0,
     initiators: int = 1,
+    prefill: float = 0.0,
 ) -> dict:
     """One (system, layout, seed) check as a cacheable sweep cell."""
     spec = WorkloadSpec(
@@ -233,5 +234,6 @@ def check_cell(
         flush_every=flush_every,
         max_points=max_points,
         initiators=initiators,
+        prefill=prefill,
     )
     return check_workload(spec).as_dict()

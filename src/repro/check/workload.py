@@ -52,6 +52,12 @@ class WorkloadSpec:
     #: Initiator hosts; > 1 builds a sharded multi-initiator cluster
     #: (:mod:`repro.scale`) so ordering is fuzzed under fan-in.
     initiators: int = 1
+    #: Fraction of each SSD's logical capacity prefilled directly on media
+    #: before the run: qualification cells use it to start in steady-state
+    #: GC (a no-op on profiles without a declared capacity).  Prefilled
+    #: blocks carry their own tokens, so the oracle never mistakes them
+    #: for planned writes.
+    prefill: float = 0.0
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -148,10 +154,21 @@ def build_testbed(spec: WorkloadSpec):
         )
         stack = ShardedStack(cluster, spec.system,
                              num_streams=max(spec.streams, 1))
+        _prefill_cluster(cluster, spec.prefill)
         return env, cluster, stack
     cluster = build_cluster(spec.layout, env=env, seed=spec.seed)
     stack = make_stack(spec.system, cluster, num_streams=max(spec.streams, 1))
+    _prefill_cluster(cluster, spec.prefill)
     return env, cluster, stack
+
+
+def _prefill_cluster(cluster, fraction: float) -> None:
+    """Apply the spec's prefill to every SSD (deterministic, timeless)."""
+    if not fraction:
+        return
+    for target in cluster.targets:
+        for ssd in target.ssds:
+            ssd.prefill(fraction)
 
 
 def start_workload(env, cluster, stack, spec: WorkloadSpec,

@@ -9,6 +9,8 @@ Usage::
     python -m repro sweep all --jobs 4
     python -m repro sweep fig10b --jobs 2 --no-cache
     python -m repro claims --jobs 4
+    python -m repro qualify --profile smoke --jobs 4
+    python -m repro qualify --profile full --out-dir results/qualify
     python -m repro trace --fs riofs --out rio.trace.json
     python -m repro metrics --fs riofs --format csv
 
@@ -297,6 +299,45 @@ def main(argv=None) -> int:
                      "$REPRO_CACHE_DIR)")
     ovl.add_argument("--format", choices=("table", "markdown"),
                      default="table", help="output format")
+    qual = sub.add_parser(
+        "qualify",
+        help="SSD qualification matrix: block-size x queue-depth x pattern "
+        "x system cells with per-cell pass/fail floors, sustained-write "
+        "GC passes and ordering-oracle cells",
+    )
+    qual.add_argument("--profile", default="smoke",
+                      choices=("smoke", "full"),
+                      help="matrix shape: smoke (CI-sized) or full "
+                      "(paper-scale, 4K-1MB x QD 1-256 x all systems)")
+    qual.add_argument("--systems", default=None,
+                      help="comma-separated systems (default: the "
+                      "profile's list)")
+    qual.add_argument("--layout", default=None,
+                      help="hardware layout (default: flash-qual)")
+    qual.add_argument("--seed", type=int, default=7)
+    qual.add_argument("--jobs", type=int, default=1,
+                      help="worker processes for the matrix cells")
+    qual_cache = qual.add_mutually_exclusive_group()
+    qual_cache.add_argument("--cache", dest="cache", action="store_true",
+                            default=True,
+                            help="memoize results on disk (default)")
+    qual_cache.add_argument("--no-cache", dest="cache",
+                            action="store_false",
+                            help="always recompute; touch no cache files")
+    qual.add_argument("--cache-dir", default=None,
+                      help="cache root (default: results/.cache, or "
+                      "$REPRO_CACHE_DIR)")
+    qual.add_argument("--out-dir", default=None, metavar="DIR",
+                      help="write qualify.json + qualify.md under DIR")
+    qual.add_argument("--bench-out", default=None, metavar="FILE",
+                      help="write the perf-trajectory artifact "
+                      "(BENCH_qualify.json shape) to FILE")
+    qual.add_argument("--floor", action="append", default=[],
+                      metavar="CELL:NAME=VALUE",
+                      help="override one floor of one cell (repeatable), "
+                      "e.g. 'matrix/rio/4K/qd1/seq:min_kiops=100'")
+    qual.add_argument("--format", choices=("table", "markdown"),
+                      default="table", help="output format")
     trace = sub.add_parser(
         "trace", help="export request-lifecycle spans as a Chrome trace"
     )
@@ -450,6 +491,62 @@ def main(argv=None) -> int:
             line += "; cache disabled]"
         print(line)
         return 0
+
+    if args.command == "qualify":
+        from repro.harness import sweep as sweep_mod
+        from repro.harness.cache import ResultCache
+        from repro.harness.qualify import (
+            DEFAULT_LAYOUT,
+            bench_artifact,
+            qualify_report,
+            write_report,
+        )
+
+        floors_override: Dict[str, Dict[str, float]] = {}
+        for item in args.floor:
+            try:
+                cell_key, assignment = item.rsplit(":", 1)
+                floor_name, floor_value = assignment.split("=", 1)
+                floors_override.setdefault(cell_key, {})[floor_name] = (
+                    float(floor_value)
+                )
+            except ValueError:
+                print(f"bad --floor {item!r}; expected CELL:NAME=VALUE",
+                      file=sys.stderr)
+                return 2
+        cache = ResultCache(root=args.cache_dir) if args.cache else None
+        runner = sweep_mod.configure(jobs=args.jobs, cache=cache)
+        started = time.time()
+        kwargs = {"seed": args.seed,
+                  "floors_override": floors_override or None}
+        if args.systems:
+            kwargs["systems"] = args.systems.split(",")
+        kwargs["layout"] = args.layout or DEFAULT_LAYOUT
+        report = qualify_report(profile=args.profile, **kwargs)
+        if args.format == "markdown":
+            print(report.render_markdown())
+        else:
+            print(report.render())
+        if args.out_dir:
+            for path in write_report(report, args.out_dir):
+                print(f"report -> {path}")
+        if args.bench_out:
+            import json as json_mod
+
+            with open(args.bench_out, "w") as fh:
+                json_mod.dump(bench_artifact(report), fh, indent=2,
+                              sort_keys=True)
+                fh.write("\n")
+            print(f"bench artifact -> {args.bench_out}")
+        line = (f"[qualify: {runner.stats.summary()}; "
+                f"{time.time() - started:.1f}s wall")
+        if cache is not None:
+            line += (f"; cache {cache.root}/{cache.version}: "
+                     f"{cache.hits} hit(s)]")
+        else:
+            line += "; cache disabled]"
+        print(line)
+        return 0 if report.ok else 1
 
     if args.command == "trace":
         from repro.harness.obs import traced_fsync_run

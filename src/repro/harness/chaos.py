@@ -113,6 +113,10 @@ class ChaosResult:
     #: counts, indexed by initiator host (empty for single-host trials).
     node_reconnects: List[int] = field(default_factory=list)
     node_retries: List[int] = field(default_factory=list)
+    #: SMART snapshot per device (``"t0/q0"`` keys) at the end of the run:
+    #: lets qualification trials assert the fault burst actually landed in
+    #: the GC / cache-pressure regime, not on an idle factory-fresh drive.
+    device_health: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def total_groups(self) -> int:
@@ -226,8 +230,15 @@ def run_chaos_trial(
     plan: Optional[FaultPlan] = None,
     limit: float = 50e-3,
     trace: bool = True,
+    prefill: float = 0.0,
 ) -> ChaosResult:
-    """One seeded trial: build, inject, run, audit."""
+    """One seeded trial: build, inject, run, audit.
+
+    ``prefill`` fills that fraction of each device's logical capacity
+    before the workload starts (see :meth:`NvmeSsd.prefill`) so trials on
+    the qualification layout run with steady-state GC and cache eviction
+    pressure active — the regime where a crash lands mid-drain.
+    """
     env = Environment()
     if trace:
         env.tracer = Tracer(categories={"fault", "driver", "rio.gate"})
@@ -240,6 +251,10 @@ def run_chaos_trial(
         seed=seed,
         hardening=CHAOS_HARDENING,
     )
+    if prefill:
+        for target in cluster.targets:
+            for ssd in target.ssds:
+                ssd.prefill(prefill)
     stack = make_stack(system, cluster, num_streams=threads)
     if plan is None:
         plan = build_fault_plan(
@@ -309,6 +324,8 @@ def run_chaos_trial(
             target.submission_order_violations()
         )
         result.duplicates_suppressed += target.duplicates_suppressed
+        for ssd in target.ssds:
+            result.device_health[ssd.name] = ssd.smart()
     if not result.deadlocked:
         try:
             cluster.driver.assert_no_leaks()
@@ -590,6 +607,8 @@ def run_scale_chaos_trial(
             target.submission_order_violations()
         )
         result.duplicates_suppressed += target.duplicates_suppressed
+        for ssd in target.ssds:
+            result.device_health[ssd.name] = ssd.smart()
     if not result.deadlocked:
         for node in cluster.nodes:
             try:

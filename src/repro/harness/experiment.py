@@ -19,6 +19,7 @@ from repro.apps.fio import BlockWorkloadResult, run_block_workload
 from repro.cluster import Cluster
 from repro.hw.ssd import (
     FLASH_PM981,
+    FLASH_PM981_QUAL,
     OPTANE_905P,
     OPTANE_P4800X,
     OPTANE_P5800X,
@@ -40,6 +41,10 @@ LAYOUTS: Dict[str, tuple] = {
     ),
     "2optane-2targets": ((OPTANE_905P,), (OPTANE_P4800X,)),
     "p5800x": ((OPTANE_P5800X,),),
+    # Qualification layout: the PM981 variant with a small namespace and
+    # write cache, so `repro qualify` cells reach cache eviction pressure
+    # and steady-state GC within a short deterministic run.
+    "flash-qual": ((FLASH_PM981_QUAL,),),
 }
 
 

@@ -10,6 +10,7 @@ from repro.hw.cpu import Core, CpuSet
 from repro.hw.pmr import PersistentMemoryRegion
 from repro.hw.ssd import (
     FLASH_PM981,
+    FLASH_PM981_QUAL,
     OPTANE_905P,
     OPTANE_P4800X,
     NvmeSsd,
@@ -23,6 +24,7 @@ __all__ = [
     "NvmeSsd",
     "SsdProfile",
     "FLASH_PM981",
+    "FLASH_PM981_QUAL",
     "OPTANE_905P",
     "OPTANE_P4800X",
 ]

@@ -22,6 +22,19 @@ a fixed per-command latency.
 Crash semantics: :meth:`NvmeSsd.crash` discards the volatile cache and all
 in-flight commands while preserving durable media, which is exactly the
 post-crash state space of §4.8.
+
+Device realism (qualification states): profiles may additionally declare a
+logical ``capacity_bytes`` with an over-provisioned spare area.  Once the
+device fills past ``gc_threshold`` of its physical space, steady-state
+garbage collection activates: every host batch drained to media drags
+relocated valid data along, inflating media service time by the greedy-GC
+write-amplification factor ``WA ~ 1/(1-u)`` (capped at ``gc_wa_cap``).
+Wear accounting (host + GC bytes programmed) is monotone, survives power
+cycles, and is exported — together with cache pressure, stall counts and
+GC state — as a SMART-like health snapshot (:meth:`NvmeSsd.smart`) and as
+``MetricsRegistry`` gauges.  All of it defaults *off* (``capacity_bytes=0``
+disables utilization/GC/wear) so the first-order profiles behave exactly
+as before.
 """
 
 from __future__ import annotations
@@ -40,6 +53,7 @@ __all__ = [
     "NvmeSsd",
     "CrashedError",
     "FLASH_PM981",
+    "FLASH_PM981_QUAL",
     "OPTANE_905P",
     "OPTANE_P4800X",
     "OPTANE_P5800X",
@@ -74,10 +88,33 @@ class SsdProfile:
     #: Maximum transfer size of a single command (bytes) — requests larger
     #: than this must be split by the block layer (§4.5).
     max_transfer: int
+    # -- device-realism knobs (all inert by default) -------------------
+    #: Logical namespace capacity in bytes.  0 (the default) disables
+    #: utilization, GC and wear-percentage accounting entirely.
+    capacity_bytes: int = 0
+    #: Physical spare area beyond the logical capacity (fraction).
+    overprovision: float = 0.07
+    #: Physical utilization at which steady-state GC activates.
+    gc_threshold: float = 0.80
+    #: Cap on the GC write-amplification factor.
+    gc_wa_cap: float = 4.0
+    #: Rated endurance in full-physical-device program/erase-equivalent
+    #: passes (0 = unrated: wear bytes still accumulate, wear_pct is 0).
+    endurance_cycles: int = 0
 
     def __post_init__(self):
         if self.plp and self.cache_capacity:
             raise ValueError("PLP profiles model no volatile cache")
+        if self.capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be >= 0")
+        if self.overprovision < 0:
+            raise ValueError("overprovision must be >= 0")
+        if not 0.0 < self.gc_threshold < 1.0:
+            raise ValueError("gc_threshold must be in (0, 1)")
+        if self.gc_wa_cap < 1.0:
+            raise ValueError("gc_wa_cap must be >= 1")
+        if self.endurance_cycles < 0:
+            raise ValueError("endurance_cycles must be >= 0")
 
 
 FLASH_PM981 = SsdProfile(
@@ -91,6 +128,31 @@ FLASH_PM981 = SsdProfile(
     cache_capacity=64 * 1024 * 1024,
     flush_base_latency=350e-6,
     max_transfer=512 * 1024,
+    capacity_bytes=256 * 1024 ** 3,
+    endurance_cycles=600,
+)
+
+#: Qualification variant of the PM981: identical service latencies and
+#: bandwidths, but a deliberately small namespace and write cache so short
+#: deterministic runs reach the states a 256 GB drive only shows after
+#: hours of preconditioning — cache eviction pressure, cache-full stalls
+#: and steady-state GC (the regime `repro qualify` exercises).
+FLASH_PM981_QUAL = SsdProfile(
+    name="PM981-qual",
+    plp=False,
+    write_latency=15e-6,
+    read_latency=80e-6,
+    interface_bandwidth=3.2e9,
+    media_bandwidth=2.0e9,
+    chips=8,
+    cache_capacity=2 * 1024 * 1024,
+    flush_base_latency=350e-6,
+    max_transfer=512 * 1024,
+    capacity_bytes=64 * 1024 * 1024,
+    overprovision=0.07,
+    gc_threshold=0.80,
+    gc_wa_cap=4.0,
+    endurance_cycles=600,
 )
 
 OPTANE_905P = SsdProfile(
@@ -207,6 +269,14 @@ class NvmeSsd:
         self._epoch = 0
         self.commands_served = 0
         self.flushes_served = 0
+        # Wear/endurance accounting.  Flash wear is physical: it survives
+        # power cycles (not reset by _init_volatile) and is monotone by
+        # construction — the property suite checks both.
+        self.media_host_bytes = 0    # host data programmed to media
+        self.media_gc_bytes = 0      # extra GC relocation traffic
+        self.cache_evictions = 0     # cache entries applied to media
+        self.cache_stalls = 0        # writes that waited for cache space
+        self.cache_stall_time = 0.0  # total time writes spent stalled
         #: Gray-failure (fail-slow) multiplier on every service latency
         #: (>= 1, default 1 = healthy).  Mutable because the profile is
         #: frozen; set via :meth:`repro.nvmeof.target.TargetServer.degrade`.
@@ -225,6 +295,19 @@ class NvmeSsd:
                              lambda: self.flushes_served)
             m.register_gauge(f"ssd.{name}.dirty_bytes",
                              lambda: self._cache_bytes)
+            # SMART-like health surface (device realism).
+            m.register_gauge(f"ssd.{name}.cache_pressure",
+                             lambda: self.cache_pressure)
+            m.register_gauge(f"ssd.{name}.cache_stalls",
+                             lambda: self.cache_stalls)
+            m.register_gauge(f"ssd.{name}.utilization",
+                             lambda: self.utilization())
+            m.register_gauge(f"ssd.{name}.write_amp",
+                             lambda: self.write_amplification())
+            m.register_gauge(f"ssd.{name}.gc_active",
+                             lambda: 1.0 if self.gc_active else 0.0)
+            m.register_gauge(f"ssd.{name}.wear_pct",
+                             lambda: self.wear_pct())
         self._init_volatile()
 
     # ------------------------------------------------------------------
@@ -343,6 +426,99 @@ class NvmeSsd:
     def dirty_bytes(self) -> int:
         return self._cache_bytes
 
+    # -- device-realism surface: utilization, GC, wear, SMART --------------
+
+    @property
+    def physical_bytes(self) -> int:
+        """Physical media size: logical capacity plus the spare area."""
+        p = self.profile
+        return int(p.capacity_bytes * (1.0 + p.overprovision))
+
+    def utilization(self) -> float:
+        """Physical utilization: fraction of physical blocks holding live
+        logical data (0.0 for profiles without a declared capacity)."""
+        if not self.profile.capacity_bytes:
+            return 0.0
+        return min(1.0, len(self._media) * BLOCK_SIZE / self.physical_bytes)
+
+    @property
+    def gc_active(self) -> bool:
+        """Steady-state GC is running (flash only, past the threshold)."""
+        return (
+            bool(self.profile.capacity_bytes)
+            and not self.profile.plp
+            and self.utilization() >= self.profile.gc_threshold
+        )
+
+    def write_amplification(self) -> float:
+        """Current GC write-amplification factor (1.0 while GC is idle).
+
+        Greedy GC under uniform writes relocates ``u/(1-u)`` valid bytes
+        per host byte at physical utilization ``u``, so the media pipe
+        serves ``WA = 1/(1-u)`` bytes per host byte, capped at the
+        profile's ``gc_wa_cap``.
+        """
+        if not self.gc_active:
+            return 1.0
+        u = self.utilization()
+        if u >= 1.0:
+            return self.profile.gc_wa_cap
+        return min(self.profile.gc_wa_cap, 1.0 / (1.0 - u))
+
+    def wear_pct(self) -> float:
+        """Endurance consumed, as a percentage of rated program bytes."""
+        p = self.profile
+        if not p.capacity_bytes or not p.endurance_cycles:
+            return 0.0
+        rated = self.physical_bytes * p.endurance_cycles
+        return 100.0 * (self.media_host_bytes + self.media_gc_bytes) / rated
+
+    @property
+    def cache_pressure(self) -> float:
+        """Dirty fraction of the write cache (0.0 on cacheless devices)."""
+        if not self.profile.cache_capacity:
+            return 0.0
+        return self._cache_bytes / self.profile.cache_capacity
+
+    def smart(self) -> Dict[str, float]:
+        """SMART-like health snapshot: plain numbers, JSON-encodable."""
+        return {
+            "commands_served": float(self.commands_served),
+            "flushes_served": float(self.flushes_served),
+            "dirty_bytes": float(self._cache_bytes),
+            "cache_pressure": self.cache_pressure,
+            "cache_stalls": float(self.cache_stalls),
+            "cache_stall_time": self.cache_stall_time,
+            "cache_evictions": float(self.cache_evictions),
+            "media_host_bytes": float(self.media_host_bytes),
+            "media_gc_bytes": float(self.media_gc_bytes),
+            "write_amp": self.write_amplification(),
+            "utilization": self.utilization(),
+            "gc_active": 1.0 if self.gc_active else 0.0,
+            "wear_pct": self.wear_pct(),
+            "service_inflation": self.service_inflation,
+            "power_cycles": float(self._epoch),
+        }
+
+    def prefill(self, fraction: float) -> None:
+        """Fill ``fraction`` of the logical capacity directly on media.
+
+        Qualification sweeps start from the steady state a long-lived
+        drive reaches (GC active) without simulating hours of fill
+        traffic: pure state mutation — no simulated time passes, no wear
+        is charged, and every prefilled version predates any run write.
+        Idempotent per block; a no-op on profiles without a capacity.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("prefill fraction must be in [0, 1]")
+        nblocks = int(self.profile.capacity_bytes // BLOCK_SIZE * fraction)
+        for lba in range(nblocks):
+            if lba in self._media:
+                continue
+            self._version_counter += 1
+            self._media[lba] = ("prefill", lba)
+            self._media_version[lba] = self._version_counter
+
     # -- durable-state snapshot/restore (crash-consistency checker) --------
 
     def capture_durable_state(self) -> Dict[str, Any]:
@@ -351,6 +527,8 @@ class NvmeSsd:
             "media": dict(self._media),
             "media_version": dict(self._media_version),
             "version_counter": self._version_counter,
+            "media_host_bytes": self.media_host_bytes,
+            "media_gc_bytes": self.media_gc_bytes,
         }
 
     def restore_durable_state(self, state: Dict[str, Any]) -> None:
@@ -363,6 +541,8 @@ class NvmeSsd:
         self._media = dict(state["media"])
         self._media_version = dict(state["media_version"])
         self._version_counter = state["version_counter"]
+        self.media_host_bytes = state.get("media_host_bytes", 0)
+        self.media_gc_bytes = state.get("media_gc_bytes", 0)
 
     # ------------------------------------------------------------------
     # Command service
@@ -372,11 +552,17 @@ class NvmeSsd:
         obs = self.env.obs
         span = None
         if obs is not None:
-            span = obs.spans.open(
-                "ssd.service", parent=io.obs_parent,
+            attrs = dict(
                 host=self.name.split("-")[0], dev=self.name,
                 op=io.op, lba=io.lba, n=io.nblocks,
             )
+            # Health surface on the span: only annotated when the device
+            # is actually in the degraded state, so traces from first-order
+            # profiles (and their goldens) are unchanged.
+            if self.gc_active:
+                attrs["gc"] = 1
+                attrs["wa"] = round(self.write_amplification(), 2)
+            span = obs.spans.open("ssd.service", parent=io.obs_parent, **attrs)
         try:
             if io.op == "flush":
                 yield from self._serve_flush(epoch)
@@ -552,13 +738,21 @@ class NvmeSsd:
     # ------------------------------------------------------------------
 
     def _wait_for_cache_space(self, nbytes: int, epoch: int):
+        stalled_at = None
         while self._cache_bytes + nbytes > self.profile.cache_capacity:
             self._check_epoch(epoch)
+            if stalled_at is None:
+                # Eviction pressure made this write stall: count the IO
+                # once, and its total stalled time on exit (health surface).
+                stalled_at = self.env.now
+                self.cache_stalls += 1
             waiter = Event(self.env)
             self._space_waiters.append((nbytes, waiter))
             self._kick_drain()
             yield waiter
         self._check_epoch(epoch)
+        if stalled_at is not None:
+            self.cache_stall_time += self.env.now - stalled_at
 
     def _insert_cache(self, io: DiskIO, barrier: bool = False) -> None:
         for offset in range(io.nblocks):
@@ -647,14 +841,24 @@ class NvmeSsd:
             for entry in sorted(window[take:], key=lambda e: -e.seq):
                 self._drain_queue.appendleft(entry)
             nbytes = BLOCK_SIZE * len(batch)
+            # Steady-state GC: past the threshold every host batch drags
+            # relocated valid data through the media pipe with it, so the
+            # drain serves WA x the host bytes (the sustained-write regime
+            # qualification cells run the PM981 in).
+            wa = self.write_amplification()
             yield self._media_pipe.request()
             try:
-                yield self.env.timeout(nbytes / self.profile.media_bandwidth)
+                yield self.env.timeout(
+                    nbytes * wa / self.profile.media_bandwidth
+                )
             finally:
                 if epoch == self._epoch:
                     self._media_pipe.release()
             if epoch != self._epoch:
                 return
+            self.media_host_bytes += nbytes
+            self.media_gc_bytes += int(nbytes * (wa - 1.0))
+            self.cache_evictions += len(batch)
             for entry in batch:
                 live = self._cache.get(entry.lba)
                 if live is entry:
@@ -690,6 +894,7 @@ class NvmeSsd:
         self._drain_waiters = remaining
 
     def _persist_blocks(self, io: DiskIO) -> None:
+        self.media_host_bytes += io.nbytes
         for offset in range(io.nblocks):
             lba = io.lba + offset
             payload = io.payload[offset] if io.payload is not None else None

@@ -59,6 +59,13 @@ class AdmissionConfig:
     #: Never sojourn-shed below this inflight count — an almost idle
     #: target with one slow command is not a standing queue.
     sojourn_min_inflight: int = 8
+    #: Device write-cache pressure (dirty fraction) at or above which new
+    #: writes are shed (None disables — the default).  This is the
+    #: cache-stall backpressure path: the target feeds the destination
+    #: SSD's cache pressure into :meth:`AdmissionController.admit`, so a
+    #: write that would park on a full, GC-throttled cache is refused at
+    #: the door instead of wedging an admission slot for the whole stall.
+    cache_pressure_limit: Optional[float] = None
 
     def __post_init__(self):
         if self.max_inflight_ordered < 1 or self.max_inflight_unordered < 1:
@@ -67,6 +74,10 @@ class AdmissionConfig:
             raise ValueError("sojourn_target must be positive")
         if not 0.0 < self.sojourn_alpha <= 1.0:
             raise ValueError("sojourn_alpha must be in (0, 1]")
+        if self.cache_pressure_limit is not None and not (
+            0.0 < self.cache_pressure_limit <= 1.0
+        ):
+            raise ValueError("cache_pressure_limit must be in (0, 1]")
 
 
 class AdmissionController:
@@ -130,8 +141,15 @@ class AdmissionController:
 
     # ------------------------------------------------------------------
 
-    def admit(self, cmd, now: float) -> Tuple[Optional[int], Optional[str]]:
-        """Decide one arrival: ``(token, None)`` or ``(None, reason)``."""
+    def admit(
+        self, cmd, now: float, pressure: float = 0.0,
+    ) -> Tuple[Optional[int], Optional[str]]:
+        """Decide one arrival: ``(token, None)`` or ``(None, reason)``.
+
+        ``pressure`` is the destination device's write-cache pressure
+        (dirty fraction) as observed by the caller; it only matters when
+        the config sets a ``cache_pressure_limit``.
+        """
         cls = self.classify(cmd)
         attr = self._attr_of(cmd) if cls == ORDERED else None
         stream = attr.stream_id if attr is not None else None
@@ -168,6 +186,15 @@ class AdmissionController:
         )
         if self._inflight[cls] >= cap:
             return None, self._reject(cls, stream, pos, "qfull")
+        if (
+            self.config.cache_pressure_limit is not None
+            and cmd.opcode == OP_WRITE
+            and pressure >= self.config.cache_pressure_limit
+        ):
+            # Cache-stall backpressure: the destination device's volatile
+            # write cache is (nearly) full, so this write would stall on
+            # eviction anyway — shed it while it is still cheap.
+            return None, self._reject(cls, stream, pos, "cache")
         sojourn = self._sojourn_ewma[cls]
         if (
             self.config.sojourn_target is not None

@@ -183,16 +183,30 @@ class HoraeStack(OrderedStack):
     # ------------------------------------------------------------------
 
     def _fragment_map(self, bios: List[Bio]):
-        """Per involved target: control endpoint + device-local extents."""
+        """Per involved target: control endpoint + device-local extents.
+
+        Alongside each extent the control path carries the per-block
+        content checksums (HORAE's write verification material): recovery
+        validates an epoch by *reading its data back and comparing*, not
+        by asking whether the LBA holds anything durable — on a used
+        (prefilled) drive every LBA does, which proves nothing about
+        this epoch.  ``None`` when the workload carries no payload.
+        """
         endpoints = {}
         extents: Dict[str, List] = {}
+        checksums: Dict[str, List] = {}
         for bio in bios:
             for ns, request in self.block_layer.split_bio(bio):
                 endpoints.setdefault(ns.target.name, ns.endpoints[0])
                 extents.setdefault(ns.target.name, []).append(
                     (ns.nsid, request.lba, request.nblocks)
                 )
-        return endpoints, extents
+                checksums.setdefault(ns.target.name, []).append(
+                    tuple(request.payload)
+                    if request.payload is not None
+                    else None
+                )
+        return endpoints, extents, checksums
 
     def _run_group(
         self,
@@ -208,13 +222,14 @@ class HoraeStack(OrderedStack):
         if predecessor is not None and not predecessor.triggered:
             yield predecessor
             yield from core.context_switch()
-        endpoints, extents = self._fragment_map(bios)
+        endpoints, extents, checksums = self._fragment_map(bios)
         waiters = []
         for target_name, endpoint in endpoints.items():
             metadata = {
                 "stream": stream_id,
                 "epoch": epoch,
                 "extents": extents[target_name],
+                "checksums": checksums[target_name],
                 "target": target_name,
             }
             waiter = yield from self.driver.rpc(
@@ -265,6 +280,35 @@ class HoraeRecovery:
             if ns.target is target:
                 return ns.endpoints[0]
         raise ValueError(f"no namespace on {target.name}")
+
+    @staticmethod
+    def _record_durable(target, record: dict) -> bool:
+        """One metadata record's extents: does durable media hold *this
+        epoch's* data?
+
+        With checksums in the metadata the verdict compares the validation
+        read against the epoch's own content — the fix for the
+        used-drive hole where ``is_durable`` (does the LBA hold *any*
+        durable version?) trivially passes on a prefilled device and a
+        torn epoch survives recovery.  Records without checksums (no
+        payload modelled) keep the presence check, which is exact on a
+        factory-blank drive.
+        """
+        sums = record.get("checksums") or [None] * len(record["extents"])
+        for (nsid, lba, nblocks), expected in zip(record["extents"], sums):
+            ssd = target.ssds[nsid]
+            if expected is None:
+                if not all(
+                    ssd.is_durable(block)
+                    for block in range(lba, lba + nblocks)
+                ):
+                    return False
+            elif any(
+                ssd.durable_payload(lba + i) != expected[i]
+                for i in range(nblocks)
+            ):
+                return False
+        return True
 
     def run_initiator_recovery(self, core):
         """Generator: returns a :class:`repro.core.recovery.RecoveryReport`."""
@@ -338,11 +382,7 @@ class HoraeRecovery:
                 epoch_records = per_epoch[epoch]
                 durable = all(
                     targets.get(record.get("target")) is not None
-                    and all(
-                        targets[record["target"]].ssds[nsid].is_durable(block)
-                        for nsid, lba, nblocks in record["extents"]
-                        for block in range(lba, lba + nblocks)
-                    )
+                    and self._record_durable(targets[record["target"]], record)
                     for record in epoch_records
                 )
                 if prefix_ok and durable:

@@ -200,6 +200,61 @@ def test_saturation_specs_are_per_cell_and_steering_aware():
 
 
 # ----------------------------------------------------------------------
+# Bit-identity: qualification cells
+# ----------------------------------------------------------------------
+
+# A small but real qualification matrix: 2 systems x 2 block sizes plus
+# the rio sustained (GC + eviction pressure) pass; oracle cells are
+# covered by tests/harness/test_qualify.py.
+SMALL_QUALIFY = dict(profile="smoke", systems=("rio", "linux"),
+                     blocks_kib=(4, 64), queue_depths=(1,),
+                     patterns=("seq",), oracle=False)
+
+
+def test_parallel_qualify_is_bit_identical_to_serial():
+    from repro.harness.qualify import qualify_sweep
+
+    serial = SweepRunner(jobs=1).run(qualify_sweep(**SMALL_QUALIFY))
+    parallel = SweepRunner(jobs=2).run(qualify_sweep(**SMALL_QUALIFY))
+    assert serial.to_json() == parallel.to_json()  # bit-identical cells
+    assert serial.digest() == parallel.digest()
+    assert serial.render() == parallel.render()
+
+
+def test_warm_cache_qualify_rerun_executes_nothing(tmp_path):
+    from repro.harness.qualify import qualify_sweep
+
+    cold = SweepRunner(jobs=2, cache=ResultCache(root=tmp_path,
+                                                 version="test"))
+    first = cold.run(qualify_sweep(**SMALL_QUALIFY))
+    assert cold.stats.executed == 6 and cold.stats.cache_hits == 0
+
+    warm = SweepRunner(jobs=1, cache=ResultCache(root=tmp_path,
+                                                 version="test"))
+    second = warm.run(qualify_sweep(**SMALL_QUALIFY))
+    assert warm.stats.executed == 0, "warm rerun must skip every cell"
+    assert warm.stats.cache_hits == 6
+    assert first.to_json() == second.to_json()
+    assert first.digest() == second.digest()
+
+
+def test_qualify_specs_are_per_cell_and_floors_do_not_change_identity():
+    from repro.harness.qualify import qualify_sweep
+
+    base = qualify_sweep(**SMALL_QUALIFY)
+    assert len(base.specs) == 6
+    assert len({spec.digest() for spec in base.specs}) == 6
+    # Floors live in the reduce: overriding them must not invalidate the
+    # cached cells (same spec digests).
+    floored = qualify_sweep(
+        floors_override={"matrix/rio/4K/qd1/seq": {"min_kiops": 1e9}},
+        **SMALL_QUALIFY,
+    )
+    assert ({s.digest() for s in base.specs}
+            == {s.digest() for s in floored.specs})
+
+
+# ----------------------------------------------------------------------
 # Cache integration through the runner
 # ----------------------------------------------------------------------
 

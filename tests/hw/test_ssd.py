@@ -5,6 +5,7 @@ import pytest
 from repro.hw.ssd import (
     BLOCK_SIZE,
     FLASH_PM981,
+    FLASH_PM981_QUAL,
     OPTANE_905P,
     DiskIO,
     NvmeSsd,
@@ -253,3 +254,174 @@ def test_plp_profile_rejects_cache():
             flush_base_latency=1e-6,
             max_transfer=131072,
         )
+
+
+# ----------------------------------------------------------------------
+# Device realism: utilization, GC, wear, SMART (qualification states)
+# ----------------------------------------------------------------------
+
+
+def test_realism_knob_validation():
+    base = dict(
+        name="bad", plp=False, write_latency=1e-5, read_latency=1e-5,
+        interface_bandwidth=1e9, media_bandwidth=1e9, chips=4,
+        cache_capacity=1024, flush_base_latency=1e-6, max_transfer=131072,
+    )
+    with pytest.raises(ValueError):
+        SsdProfile(**base, capacity_bytes=-1)
+    with pytest.raises(ValueError):
+        SsdProfile(**base, gc_threshold=1.5)
+    with pytest.raises(ValueError):
+        SsdProfile(**base, gc_wa_cap=0.5)
+    with pytest.raises(ValueError):
+        SsdProfile(**base, overprovision=-0.1)
+    with pytest.raises(ValueError):
+        SsdProfile(**base, endurance_cycles=-1)
+
+
+def test_realism_defaults_off_without_capacity():
+    env, ssd = make_ssd(OPTANE_905P)
+    assert ssd.utilization() == 0.0
+    assert not ssd.gc_active
+    assert ssd.write_amplification() == 1.0
+    assert ssd.wear_pct() == 0.0
+    assert ssd.cache_pressure == 0.0
+
+
+def test_stock_pm981_never_reaches_gc_in_short_runs():
+    env, ssd = make_ssd(FLASH_PM981)
+    for i in range(64):
+        run_io(env, ssd, DiskIO(op="write", lba=i, nblocks=1))
+    run_io(env, ssd, DiskIO(op="flush"))
+    assert ssd.utilization() < 0.01
+    assert not ssd.gc_active
+    assert ssd.write_amplification() == 1.0
+
+
+def test_prefill_activates_gc_and_caps_write_amp():
+    env, ssd = make_ssd(FLASH_PM981_QUAL)
+    ssd.prefill(0.5)
+    assert not ssd.gc_active  # below the threshold
+    ssd.prefill(0.95)
+    assert ssd.gc_active
+    wa = ssd.write_amplification()
+    assert 1.0 < wa <= FLASH_PM981_QUAL.gc_wa_cap
+    # Idempotent: refilling the same fraction changes nothing.
+    before = ssd.utilization()
+    ssd.prefill(0.95)
+    assert ssd.utilization() == before
+    with pytest.raises(ValueError):
+        ssd.prefill(1.5)
+
+
+def test_prefill_charges_no_wear_and_takes_no_time():
+    env, ssd = make_ssd(FLASH_PM981_QUAL)
+    ssd.prefill(0.9)
+    assert env.now == 0.0
+    assert ssd.media_host_bytes == 0
+    assert ssd.media_gc_bytes == 0
+
+
+def test_prefill_is_invisible_to_is_durable_only_by_content():
+    """Prefilled blocks are durable (a used drive is full of data), but
+    carry their own tokens — recovery must distinguish by content."""
+    env, ssd = make_ssd(FLASH_PM981_QUAL)
+    ssd.prefill(0.1)
+    assert ssd.is_durable(0)
+    assert ssd.durable_payload(0) == ("prefill", 0)
+
+
+def test_gc_inflates_drain_service_time():
+    """The same burst drains ~WA x slower once GC is active."""
+    def drain_time(prefill):
+        env, ssd = make_ssd(FLASH_PM981_QUAL)
+        if prefill:
+            ssd.prefill(prefill)
+        for i in range(32):
+            run_io(env, ssd, DiskIO(op="write", lba=i * 8, nblocks=8))
+        before = env.now
+        run_io(env, ssd, DiskIO(op="flush"))
+        return env.now - before
+
+    idle, active = drain_time(0.0), drain_time(0.92)
+    assert active > 2.0 * idle  # WA ~4 on the qual profile
+
+
+def test_wear_accounting_separates_host_and_gc_bytes():
+    env, ssd = make_ssd(FLASH_PM981_QUAL)
+    ssd.prefill(0.92)
+    nblocks = 64
+    for i in range(nblocks // 8):
+        run_io(env, ssd, DiskIO(op="write", lba=i * 8, nblocks=8))
+    run_io(env, ssd, DiskIO(op="flush"))
+    assert ssd.media_host_bytes == nblocks * BLOCK_SIZE
+    # WA ~4 => roughly 3 GC bytes per host byte.
+    assert ssd.media_gc_bytes > ssd.media_host_bytes
+    assert ssd.wear_pct() > 0.0
+    assert ssd.cache_evictions == nblocks
+
+
+def test_wear_survives_crash_and_snapshot_roundtrip():
+    env, ssd = make_ssd(FLASH_PM981_QUAL)
+    ssd.prefill(0.92)
+    run_io(env, ssd, DiskIO(op="write", lba=0, nblocks=8))
+    run_io(env, ssd, DiskIO(op="flush"))
+    host, gc = ssd.media_host_bytes, ssd.media_gc_bytes
+    assert host > 0
+    ssd.crash()
+    ssd.restart()
+    assert (ssd.media_host_bytes, ssd.media_gc_bytes) == (host, gc)
+    # Snapshot/restore (the crash-consistency checker's crash model)
+    # carries wear into the recovered device too.
+    state = ssd.capture_durable_state()
+    env2 = Environment()
+    fresh = NvmeSsd(env2, FLASH_PM981_QUAL, name="ssd0")
+    fresh.restore_durable_state(state)
+    assert (fresh.media_host_bytes, fresh.media_gc_bytes) == (host, gc)
+
+
+def test_cache_pressure_and_stall_counters():
+    env, ssd = make_ssd(FLASH_PM981_QUAL)
+    ssd.prefill(0.92)  # GC-slowed drain: the burst outruns eviction
+    assert ssd.cache_pressure == 0.0
+    # 4 MiB burst into the 2 MiB cache: pressure then stalls.
+    def writer(env):
+        for i in range(64):
+            yield ssd.submit(DiskIO(op="write", lba=i * 16, nblocks=16))
+
+    env.run_until_event(env.process(writer(env)), limit=1.0)
+    assert ssd.cache_stalls > 0
+    assert ssd.cache_stall_time > 0.0
+    run_io(env, ssd, DiskIO(op="flush"))
+    assert ssd.cache_pressure == 0.0
+
+
+def test_smart_snapshot_is_json_encodable_and_complete():
+    import json
+
+    env, ssd = make_ssd(FLASH_PM981_QUAL)
+    ssd.prefill(0.92)
+    run_io(env, ssd, DiskIO(op="write", lba=0, nblocks=8))
+    run_io(env, ssd, DiskIO(op="flush"))
+    smart = ssd.smart()
+    json.dumps(smart)  # plain numbers only
+    for key in ("commands_served", "cache_pressure", "cache_stalls",
+                "media_host_bytes", "media_gc_bytes", "write_amp",
+                "utilization", "gc_active", "wear_pct", "power_cycles"):
+        assert key in smart
+    assert smart["gc_active"] == 1.0
+    assert smart["write_amp"] > 1.0
+
+
+def test_smart_gauges_are_registered_when_observed():
+    from repro.sim.obs import Observability
+
+    env = Environment()
+    env.obs = Observability(env)
+    ssd = NvmeSsd(env, FLASH_PM981_QUAL, name="q0")
+    ssd.prefill(0.92)
+    gauges = env.obs.metrics.snapshot()["gauges"]
+    assert gauges["ssd.q0.gc_active"] == 1.0
+    assert gauges["ssd.q0.utilization"] > 0.8
+    assert gauges["ssd.q0.cache_pressure"] == 0.0
+    assert gauges["ssd.q0.write_amp"] > 1.0

@@ -1,0 +1,244 @@
+"""Property-based tests of the device-realism states (qualification).
+
+The qualification layout runs the PM981 model inside regimes the
+first-order profiles never reach — cache eviction pressure, cache-full
+stalls, steady-state GC, wear accumulation.  These properties pin the
+invariants that regime must never break:
+
+* cache occupancy never exceeds the declared capacity, under any write
+  mix and even while writers stall for space;
+* dirty bytes are conserved: at any quiescent point the cache holds
+  exactly the acknowledged blocks whose newest version is not yet
+  durable, and a FLUSH (or crash) empties it;
+* GC inflates *time*, never reorders *persistence*: barrier writes
+  persist strictly in ticket order even while every drain batch drags
+  relocated GC traffic with it;
+* wear counters are monotone and survive power cycles.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.ssd import (
+    BLOCK_SIZE,
+    FLASH_PM981_QUAL,
+    DiskIO,
+    NvmeSsd,
+)
+from repro.sim import Environment
+
+#: Write LBAs inside the qual namespace (64 MiB => 16384 blocks).
+QUAL_BLOCKS = FLASH_PM981_QUAL.capacity_bytes // BLOCK_SIZE
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"),
+                  st.integers(0, 63),        # lba slot
+                  st.integers(1, 8)),        # nblocks
+        st.tuples(st.just("flush"), st.just(0), st.just(0)),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _fresh(prefill: float = 0.0):
+    env = Environment()
+    ssd = NvmeSsd(env, FLASH_PM981_QUAL, name="prop")
+    if prefill:
+        ssd.prefill(prefill)
+    return env, ssd
+
+
+# ----------------------------------------------------------------------
+# Cache occupancy bound
+# ----------------------------------------------------------------------
+
+
+@given(ops_strategy)
+@settings(max_examples=40, deadline=None)
+def test_cache_occupancy_never_exceeds_capacity(ops):
+    env, ssd = _fresh(prefill=0.9)  # GC active: drains are slowest here
+    capacity = FLASH_PM981_QUAL.cache_capacity
+    violations = []
+
+    def monitor(env):
+        while True:
+            if ssd.dirty_bytes > capacity:
+                violations.append((env.now, ssd.dirty_bytes))
+            yield env.timeout(5e-6)
+
+    def driver(env):
+        for op, slot, nblocks in ops:
+            if op == "write":
+                yield ssd.submit(DiskIO(op="write", lba=slot * 16,
+                                        nblocks=nblocks))
+            else:
+                yield ssd.submit(DiskIO(op="flush"))
+
+    env.process(monitor(env))
+    env.run_until_event(env.process(driver(env)), limit=1.0)
+    assert violations == []
+    assert ssd.dirty_bytes <= capacity
+
+
+def test_cache_full_stalls_are_counted_and_bounded():
+    """Writes beyond the cache stall (and are counted) instead of
+    overflowing the declared capacity."""
+    env, ssd = _fresh(prefill=0.9)
+    capacity = FLASH_PM981_QUAL.cache_capacity
+    done = []
+
+    def writer(env):
+        # 4 MiB into a 2 MiB cache: guaranteed eviction pressure.
+        for i in range(64):
+            yield ssd.submit(DiskIO(op="write", lba=i * 16, nblocks=16))
+        done.append(env.now)
+
+    env.run_until_event(env.process(writer(env)), limit=1.0)
+    assert done, "writer wedged"
+    assert ssd.cache_stalls > 0
+    assert ssd.cache_stall_time > 0.0
+    assert ssd.dirty_bytes <= capacity
+
+
+# ----------------------------------------------------------------------
+# Dirty-byte conservation
+# ----------------------------------------------------------------------
+
+
+@given(ops_strategy, st.booleans())
+@settings(max_examples=40, deadline=None)
+def test_dirty_bytes_are_conserved_across_flush_evict_crash(ops, crash):
+    env, ssd = _fresh()
+    latest = {}  # lba -> newest acknowledged payload
+    history = {}  # lba -> every payload ever written there
+
+    def driver(env):
+        counter = 0
+        for op, slot, nblocks in ops:
+            if op == "write":
+                counter += 1
+                lba = slot * 16
+                payload = [(lba + i, counter) for i in range(nblocks)]
+                yield ssd.submit(DiskIO(op="write", lba=lba,
+                                        nblocks=nblocks, payload=payload))
+                for i in range(nblocks):
+                    latest[lba + i] = payload[i]
+                    history.setdefault(lba + i, {None}).add(payload[i])
+            else:
+                yield ssd.submit(DiskIO(op="flush"))
+                # A completed FLUSH leaves nothing dirty (serial driver).
+                assert ssd.dirty_bytes == 0
+            # Conservation at every quiescent point: the cache holds
+            # exactly the acked blocks whose newest version is not yet
+            # durable — no phantom bytes, no leaked entries.
+            dirty = sum(
+                1 for lba, payload in latest.items()
+                if ssd.durable_payload(lba) != payload
+            )
+            assert ssd.dirty_bytes == dirty * BLOCK_SIZE
+            for lba, payload in latest.items():
+                assert ssd.current_payload(lba) == payload
+
+    env.run_until_event(env.process(driver(env)), limit=1.0)
+    if crash:
+        ssd.crash()
+        ssd.restart()
+        assert ssd.dirty_bytes == 0
+        # Post-crash media holds, per block, some version it was actually
+        # sent (or nothing) — never an invented payload.
+        for lba, versions in history.items():
+            assert ssd.durable_payload(lba) in versions
+
+
+# ----------------------------------------------------------------------
+# GC never reorders barrier persistence
+# ----------------------------------------------------------------------
+
+
+@given(st.integers(8, 24), st.integers(0, 2 ** 16))
+@settings(max_examples=25, deadline=None)
+def test_gc_never_reorders_barrier_persist_order(nwrites, seed_salt):
+    """At every persistence event the durable subset of barrier writes is
+    a prefix of ticket order — even with GC relocating data under the
+    drain and non-barrier traffic interleaved."""
+    env, ssd = _fresh(prefill=0.9)
+    assert ssd.gc_active, "property must run in the GC regime"
+    barrier_lbas = [1000 + 2 * i for i in range(nwrites)]
+    prefix_breaks = []
+
+    def on_persist(_ssd):
+        durable = [
+            ssd.durable_payload(lba) == ("bar", lba)
+            for lba in barrier_lbas
+        ]
+        frontier = durable.index(False) if False in durable else len(durable)
+        if any(durable[frontier:]):
+            prefix_breaks.append(list(durable))
+
+    ssd.on_persist = on_persist
+
+    def driver(env):
+        events = []
+        for i, lba in enumerate(barrier_lbas):
+            events.append(ssd.submit(
+                DiskIO(op="write", lba=lba, nblocks=1,
+                       payload=[("bar", lba)], barrier=True)
+            ))
+            if i % 3 == seed_salt % 3:  # interleave plain traffic
+                events.append(ssd.submit(
+                    DiskIO(op="write", lba=8000 + i * 4, nblocks=4)
+                ))
+        for event in events:
+            yield event
+        yield ssd.submit(DiskIO(op="flush"))
+
+    env.run_until_event(env.process(driver(env)), limit=1.0)
+    assert prefix_breaks == []
+    for lba in barrier_lbas:
+        assert ssd.durable_payload(lba) == ("bar", lba)
+
+
+# ----------------------------------------------------------------------
+# Wear monotonicity
+# ----------------------------------------------------------------------
+
+
+@given(ops_strategy, st.integers(0, 2))
+@settings(max_examples=40, deadline=None)
+def test_wear_counters_are_monotone_and_survive_power_cycles(ops, cycles):
+    env, ssd = _fresh(prefill=0.9)
+    samples = []
+
+    def sample():
+        samples.append((
+            ssd.media_host_bytes,
+            ssd.media_gc_bytes,
+            ssd.cache_evictions,
+            ssd.wear_pct(),
+        ))
+
+    def driver(env):
+        sample()
+        for op, slot, nblocks in ops:
+            if op == "write":
+                yield ssd.submit(DiskIO(op="write", lba=slot * 16,
+                                        nblocks=nblocks))
+            else:
+                yield ssd.submit(DiskIO(op="flush"))
+            sample()
+
+    env.run_until_event(env.process(driver(env)), limit=1.0)
+    for _ in range(cycles):
+        before = (ssd.media_host_bytes, ssd.media_gc_bytes)
+        ssd.crash()
+        ssd.restart()
+        # Physical wear survives the power cycle.
+        assert (ssd.media_host_bytes, ssd.media_gc_bytes) == before
+        sample()
+    for earlier, later in zip(samples, samples[1:]):
+        assert all(b >= a for a, b in zip(earlier, later))
+    # GC-active drains must charge amplification, not just host bytes.
+    if ssd.media_host_bytes:
+        assert ssd.media_gc_bytes > 0
+        assert ssd.wear_pct() > 0.0
