@@ -89,6 +89,12 @@ class RecordedRun:
 def record_run(spec: WorkloadSpec) -> RecordedRun:
     """Run the workload once, snapshotting at every persistence event."""
     env, cluster, stack = build_testbed(spec)
+    if spec.faults:
+        # Faults perturb the recording run only: crash-point replays model
+        # a power cycle, after which the transient fault is gone.
+        from repro.sim.faults import FaultPlan
+
+        FaultPlan.from_dict(spec.faults).install(cluster)
     plan = build_plan(spec)
     snapshots: List[ClusterState] = []
 

@@ -183,10 +183,19 @@ def shrink_spec(spec: WorkloadSpec,
 
 
 def dump_reproducer(path, report: CheckReport) -> None:
-    """Write a replayable JSON reproducer for a failing check."""
+    """Write a replayable JSON reproducer for a failing check.
+
+    The payload embeds both the legacy ``spec`` (a
+    :class:`WorkloadSpec` dict — what :func:`replay_reproducer` reads)
+    and its ScenarioSpec v1 upgrade under ``scenario_spec``, so the same
+    file replays via ``repro run <file>`` too.
+    """
+    from repro.spec import upgrade_workload_spec  # lazy: spec sits above check
+
     payload = {
         "kind": "repro-check-reproducer",
         "spec": report.spec.to_dict(),
+        "scenario_spec": upgrade_workload_spec(report.spec.to_dict()).to_dict(),
         "crash_points": report.crash_points,
         "failures": [f.as_dict() for f in report.failures],
     }
@@ -221,6 +230,7 @@ def check_cell(
     max_points: int = 0,
     initiators: int = 1,
     prefill: float = 0.0,
+    faults: Optional[dict] = None,
 ) -> dict:
     """One (system, layout, seed) check as a cacheable sweep cell."""
     spec = WorkloadSpec(
@@ -235,5 +245,6 @@ def check_cell(
         max_points=max_points,
         initiators=initiators,
         prefill=prefill,
+        faults=faults,
     )
     return check_workload(spec).as_dict()

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, replace
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.harness.experiment import build_cluster
 from repro.sim.engine import Environment, Event
@@ -58,6 +58,13 @@ class WorkloadSpec:
     #: blocks carry their own tokens, so the oracle never mistakes them
     #: for planned writes.
     prefill: float = 0.0
+    #: Optional embedded fault plan (a :meth:`FaultPlan.to_dict` document,
+    #: == the ScenarioSpec ``faults`` section) installed on the *recording*
+    #: run only — recovery replays stay fault-free (power-cycle model).
+    #: The checker workload runs without driver hardening, so only
+    #: delay/stall/degrade faults are sane here; spec validation
+    #: (:mod:`repro.spec`) enforces that.
+    faults: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)

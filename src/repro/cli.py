@@ -6,6 +6,9 @@ Usage::
     python -m repro run fig10b
     python -m repro run fig13 --duration 0.01
     python -m repro run all
+    python -m repro run examples/specs/combined_check.json --jobs 2
+    python -m repro spec validate examples/specs/*.json
+    python -m repro spec diff a.json b.json
     python -m repro sweep all --jobs 4
     python -m repro sweep fig10b --jobs 2 --no-cache
     python -m repro claims --jobs 4
@@ -24,6 +27,14 @@ and (unless ``--no-cache``) results are memoized in an on-disk
 content-addressed cache (``results/.cache/`` by default, keyed by spec
 digest + code version) so repeated invocations only pay for what changed.
 See ``docs/running_experiments.md``.
+
+``run`` also accepts a **ScenarioSpec** JSON path instead of a figure
+name (any argument containing a path separator or ending in ``.json``):
+the spec is validated, compiled onto the sweep runner and executed with
+output bit-identical to the equivalent kwargs invocation — including
+legacy ``WorkloadSpec``/fault-plan/reproducer JSON, which is upgraded to
+spec v1 on load.  ``spec`` validates, canonicalizes, digests and diffs
+spec files without running anything.  See ``docs/scenario_spec.md``.
 
 ``trace`` runs the instrumented fsync probe and exports the request
 lifecycle spans as a Chrome ``chrome://tracing`` / Perfetto JSON file;
@@ -113,6 +124,106 @@ def _gray_result(**kwargs):
     return gray_result(**kwargs)
 
 
+def _is_spec_path(name: str) -> bool:
+    """``repro run`` disambiguation: figure names never contain a path
+    separator or a ``.json`` suffix, spec files always do."""
+    import os
+
+    return (os.sep in name or "/" in name or name.endswith(".json"))
+
+
+def _cmd_run_spec(args) -> int:
+    """``repro run <spec.json>``: validate, compile, execute, report."""
+    from repro.harness.cache import ResultCache
+    from repro.spec import SpecError, load_spec_file, run_scenario
+
+    if args.duration is not None:
+        print("--duration applies to figure names only; a ScenarioSpec "
+              "carries its own durations (edit the spec instead)",
+              file=sys.stderr)
+        return 2
+    try:
+        spec = load_spec_file(args.figure)
+    except SpecError as exc:
+        print(f"invalid spec: {exc}", file=sys.stderr)
+        return 2
+    cache = ResultCache(root=args.cache_dir) if args.cache else None
+    started = time.time()
+    outcome = run_scenario(
+        spec, jobs=args.jobs, cache=cache,
+        reproducer_dir=(args.reproducers if spec.scenario == "check"
+                        else None),
+    )
+    result = outcome.result
+    if args.format == "markdown" and hasattr(result, "render_markdown"):
+        print(result.render_markdown())
+    else:
+        print(outcome.render())
+    if not outcome.ok:
+        if args.reproducers and spec.scenario != "check":
+            for path in outcome.dump_reproducers(args.reproducers):
+                print(f"reproducer spec -> {path}")
+        elif not args.reproducers:
+            for repro_spec in outcome.reproducers:
+                print(f"reproducer spec: {repro_spec.canonical_json()}")
+    if spec.scenario == "check":
+        for path in getattr(result, "dumped", []):
+            print(f"reproducer -> {path}")
+    line = f"[run {spec.scenario} {spec.digest()[:12]}: "
+    if outcome.cached:
+        line += "scenario cache hit"
+    else:
+        line += outcome.stats.summary()
+    line += f"; {time.time() - started:.1f}s wall"
+    if cache is not None:
+        line += (f"; cache {cache.root}/{cache.version}: "
+                 f"{cache.hits} hit(s)]")
+    else:
+        line += "; cache disabled]"
+    print(line)
+    return 0 if outcome.ok else 1
+
+
+def _cmd_spec(args) -> int:
+    """``repro spec validate|canon|digest|diff`` — no simulation runs."""
+    from repro.spec import SpecError, diff_specs, load_spec_file
+
+    if args.action == "diff":
+        if len(args.files) != 2:
+            print("spec diff takes exactly two files", file=sys.stderr)
+            return 2
+        try:
+            a, b = (load_spec_file(path) for path in args.files)
+        except SpecError as exc:
+            print(f"invalid spec: {exc}", file=sys.stderr)
+            return 2
+        differences = diff_specs(a, b)
+        if not differences:
+            print("specs are canonically identical "
+                  f"(digest {a.digest()[:12]})")
+            return 0
+        for path, left, right in differences:
+            print(f"{path}: {left!r} != {right!r}")
+        return 1
+    status = 0
+    for path in args.files:
+        try:
+            spec = load_spec_file(path)
+        except SpecError as exc:
+            print(f"{path}: INVALID: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        if args.action == "validate":
+            print(f"{path}: OK scenario={spec.scenario} "
+                  f"digest={spec.digest()[:12]}")
+        elif args.action == "canon":
+            print(spec.canonical_json())
+        elif args.action == "digest":
+            prefix = f"{path}: " if len(args.files) > 1 else ""
+            print(f"{prefix}{spec.digest()}")
+    return status
+
+
 def _run_one(name: str, duration: Optional[float],
              fmt: str = "table") -> None:
     fn, _description, takes_duration = FIGURES[name]
@@ -146,12 +257,47 @@ def main(argv=None) -> int:
                         help="memoize sweep cells in the on-disk cache")
     claims.add_argument("--cache-dir", default=None,
                         help="cache root (default: results/.cache)")
-    run = sub.add_parser("run", help="run one figure (or 'all')")
-    run.add_argument("figure", help="figure name from 'list', or 'all'")
+    run = sub.add_parser(
+        "run", help="run one figure (or 'all'), or a ScenarioSpec JSON file"
+    )
+    run.add_argument("figure",
+                     help="figure name from 'list', 'all', or a path to a "
+                     "ScenarioSpec JSON file (legacy WorkloadSpec/fault-plan"
+                     "/reproducer JSON is upgraded on load)")
     run.add_argument("--duration", type=float, default=None,
-                     help="virtual seconds per configuration")
+                     help="virtual seconds per configuration (figure mode "
+                     "only: a spec carries its own durations)")
     run.add_argument("--format", choices=("table", "markdown"),
                      default="table", help="output format")
+    run.add_argument("--jobs", type=int, default=1,
+                     help="spec mode: worker processes for the sweep cells")
+    run_cache = run.add_mutually_exclusive_group()
+    run_cache.add_argument("--cache", dest="cache", action="store_true",
+                           default=False,
+                           help="spec mode: memoize cells AND the reduced "
+                           "scenario outcome in the on-disk cache")
+    run_cache.add_argument("--no-cache", dest="cache", action="store_false",
+                           help="always recompute (default)")
+    run.add_argument("--cache-dir", default=None,
+                     help="cache root (default: results/.cache, or "
+                     "$REPRO_CACHE_DIR)")
+    run.add_argument("--reproducers", default=None, metavar="DIR",
+                     help="spec mode: dump a minimal replayable spec per "
+                     "failure into DIR (otherwise failures print their "
+                     "reproducer specs inline)")
+    spc = sub.add_parser(
+        "spec",
+        help="validate / canonicalize / digest / diff ScenarioSpec files "
+        "without running them",
+    )
+    spc.add_argument("action",
+                     choices=("validate", "canon", "digest", "diff"),
+                     help="validate: load+check each file; canon: print "
+                     "the canonical JSON; digest: print the stable cache "
+                     "digest; diff: field-level differences of two specs")
+    spc.add_argument("files", nargs="+", metavar="FILE",
+                     help="spec JSON file(s); legacy WorkloadSpec/"
+                     "fault-plan/reproducer JSON is upgraded on load")
     swp = sub.add_parser(
         "sweep",
         help="run figures on the parallel sweep runner (workers + cache)",
@@ -364,6 +510,12 @@ def main(argv=None) -> int:
     metrics.add_argument("--out", default=None,
                          help="output path (default: stdout)")
     args = parser.parse_args(argv)
+
+    if args.command == "spec":
+        return _cmd_spec(args)
+
+    if args.command == "run" and _is_spec_path(args.figure):
+        return _cmd_run_spec(args)
 
     if args.command == "check":
         from repro.check import (

@@ -231,6 +231,7 @@ def run_chaos_trial(
     limit: float = 50e-3,
     trace: bool = True,
     prefill: float = 0.0,
+    plan_spec: Optional[dict] = None,
 ) -> ChaosResult:
     """One seeded trial: build, inject, run, audit.
 
@@ -238,7 +239,17 @@ def run_chaos_trial(
     before the workload starts (see :meth:`NvmeSsd.prefill`) so trials on
     the qualification layout run with steady-state GC and cache eviction
     pressure active — the regime where a crash lands mid-drain.
+
+    ``plan_spec`` is the JSON-encodable alternative to ``plan`` (a
+    :meth:`FaultPlan.to_dict` document, i.e. a ScenarioSpec ``faults``
+    section): unlike a live ``FaultPlan`` it survives
+    :class:`~repro.harness.sweep.RunSpec` encoding, so spec-driven chaos
+    sweeps can fan trials out across worker processes and memoize them.
     """
+    if plan_spec is not None:
+        if plan is not None:
+            raise ValueError("pass plan or plan_spec, not both")
+        plan = FaultPlan.from_dict(plan_spec)
     env = Environment()
     if trace:
         env.tracer = Tracer(categories={"fault", "driver", "rio.gate"})

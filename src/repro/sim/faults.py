@@ -254,6 +254,68 @@ class FaultPlan:
         return DELIVER, 0.0
 
     # ------------------------------------------------------------------
+    # Serialization (the ScenarioSpec ``faults`` sub-section)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form: construction parameters plus the timed
+        schedule.  Runtime state (installed env, injected records,
+        counters) is deliberately excluded — a plan round-tripped through
+        :meth:`from_dict` is a *fresh* plan with the same schedule."""
+        return {
+            "seed": self.seed,
+            "message_loss": self.message_loss,
+            "corruption": self.corruption,
+            "delay_probability": self.delay_probability,
+            "delay_range": list(self.delay_range),
+            "timed": [
+                {"kind": kind, "at": at, **detail}
+                for kind, at, detail in self._timed
+            ],
+        }
+
+    @staticmethod
+    def _as_mapping(value) -> Dict[str, Any]:
+        """Accept a dict or the sweep runner's frozen ``(key, value)``
+        pair form — dict-valued kwargs cross RunSpec boundaries as sorted
+        pair tuples (see ``repro.harness.sweep``)."""
+        if isinstance(value, dict):
+            return value
+        if isinstance(value, (list, tuple)) and all(
+            isinstance(pair, (list, tuple)) and len(pair) == 2
+            and isinstance(pair[0], str)
+            for pair in value
+        ):
+            return dict(value)
+        raise ValueError(f"expected a fault-plan mapping, got {value!r}")
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output (or the equivalent
+        ScenarioSpec ``faults`` section).  Unknown timed kinds raise."""
+        data = cls._as_mapping(data)
+        plan = cls(
+            seed=int(data.get("seed", 0)),
+            message_loss=float(data.get("message_loss", 0.0)),
+            corruption=float(data.get("corruption", 0.0)),
+            delay_probability=float(data.get("delay_probability", 0.0)),
+            delay_range=tuple(data.get("delay_range", (5e-6, 50e-6))),
+        )
+        builders = {
+            "qp_breakdown": plan.qp_breakdown,
+            "target_stall": plan.target_stall,
+            "target_crash": plan.target_crash,
+            "degrade": plan.degrade,
+        }
+        for i, entry in enumerate(data.get("timed") or []):
+            detail = dict(cls._as_mapping(entry))
+            kind = detail.pop("kind", None)
+            if kind not in builders:
+                raise ValueError(f"timed[{i}]: unknown fault kind {kind!r}")
+            builders[kind](**detail)
+        return plan
+
+    # ------------------------------------------------------------------
 
     def record(self, kind: str, **detail) -> None:
         """Log one injected fault (list + tracer, with virtual timestamp)."""

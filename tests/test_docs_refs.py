@@ -10,7 +10,10 @@ and verifies three kinds of reference against the actual repository:
   ``file.py::test_name`` pytest anchors name a real test;
 * **dotted names** — ``repro.module.attr`` chains import and resolve;
 * **relative links** — ``[text](other.md#anchor)`` targets exist, and the
-  ``#anchor`` matches a real heading.
+  ``#anchor`` matches a real heading;
+* **JSON snippets** — every ```` ```json ```` fenced block parses, and
+  any block shaped like a ScenarioSpec (or a legacy shape ``load_spec``
+  upgrades) passes full spec validation.
 
 CI runs this as the docs job; if it fails, either the docs or the code
 moved without the other.
@@ -19,6 +22,7 @@ moved without the other.
 from __future__ import annotations
 
 import importlib
+import json
 import re
 from pathlib import Path
 
@@ -41,6 +45,9 @@ DOTTED_REF = re.compile(r"`(?P<dotted>repro\.[A-Za-z_][\w.]*)`")
 
 # [text](relative/target.md#anchor) links (external schemes skipped).
 MD_LINK = re.compile(r"\[[^\]]+\]\((?P<target>[^)\s]+)\)")
+
+# ```json fenced blocks.
+JSON_BLOCK = re.compile(r"```json\n(?P<body>.*?)```", re.DOTALL)
 
 
 def _doc_ids():
@@ -158,9 +165,78 @@ def test_relative_links_and_anchors(doc):
     )
 
 
+def _spec_shaped(data) -> bool:
+    """Would ``repro.spec.load_spec`` accept this document?
+
+    Mirrors the loader's own shape detection: v1 specs carry
+    ``scenario``/``version``, check reproducers carry ``kind``, legacy
+    WorkloadSpec dicts carry ``system``, and bare fault plans are a
+    subset of the fault-plan field set.
+    """
+    if not isinstance(data, dict):
+        return False
+    if {"scenario", "version", "kind", "system"} & set(data):
+        return True
+    fault_keys = {"seed", "message_loss", "corruption",
+                  "delay_probability", "delay_range", "timed"}
+    return bool(data) and set(data) <= fault_keys
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_ids())
+def test_json_snippets_parse_and_validate(doc):
+    from repro.spec import SpecError, load_spec
+
+    text = doc.read_text()
+    problems = []
+    for i, match in enumerate(JSON_BLOCK.finditer(text)):
+        body = match.group("body")
+        try:
+            data = json.loads(body)
+        except json.JSONDecodeError as exc:
+            problems.append(f"json block {i}: does not parse: {exc}")
+            continue
+        if _spec_shaped(data):
+            try:
+                load_spec(data)
+            except SpecError as exc:
+                problems.append(f"json block {i}: invalid spec: {exc}")
+    assert not problems, (
+        f"{doc.relative_to(REPO_ROOT)} has bad JSON snippets:\n  "
+        + "\n  ".join(problems)
+    )
+
+
+def test_cookbook_examples_match_shipped_specs():
+    """The cookbook's spec snippets are the shipped example files.
+
+    Every spec-shaped snippet in docs/scenario_spec.md must digest-match
+    one of ``examples/specs/*.json`` — the cookbook cannot drift from
+    what CI actually runs.
+    """
+    from repro.spec import load_spec, load_spec_file
+
+    shipped = {
+        load_spec_file(path).digest(): path.name
+        for path in sorted((REPO_ROOT / "examples" / "specs").glob("*.json"))
+    }
+    assert shipped, "examples/specs/ is empty"
+    text = (REPO_ROOT / "docs" / "scenario_spec.md").read_text()
+    snippets = [
+        json.loads(m.group("body")) for m in JSON_BLOCK.finditer(text)
+    ]
+    spec_snippets = [s for s in snippets if _spec_shaped(s)]
+    assert len(spec_snippets) >= 4, "cookbook needs at least 4 worked specs"
+    for data in spec_snippets:
+        digest = load_spec(data).digest()
+        assert digest in shipped, (
+            f"cookbook snippet {data.get('name')!r} matches no file in "
+            f"examples/specs/ (have: {sorted(shipped.values())})"
+        )
+
+
 def test_docs_exist_at_all():
     """The documented doc set is present (guards against deletion)."""
     expected = {"architecture.md", "running_experiments.md",
-                "paper_to_code_map.md"}
+                "paper_to_code_map.md", "scenario_spec.md"}
     have = {p.name for p in (REPO_ROOT / "docs").glob("*.md")}
     assert expected <= have, f"missing docs: {expected - have}"
