@@ -199,7 +199,12 @@ class Timeout(Event):
         self._ok = True
         self._value = value
         self.delay = delay
-        heappush(env._heap, (env._now + delay, next(env._eid), self))
+        if env._buckets is None:
+            heappush(env._heap, (env._now + delay, next(env._eid), self))
+        else:
+            # Calendar scheduler (repro.sim.calendar): exact-timestamp
+            # buckets instead of one heap entry per timeout.
+            env._bucket_insert(self, env._now + delay)
 
     def cancel(self) -> None:
         """Disarm a timeout that lost a race (e.g. the other arm of an
@@ -211,15 +216,24 @@ class Timeout(Event):
         one pass.  Without this, every completed watchdog arm would stay a
         live heap entry until its expiry time — a real leak on long runs.
         No-op if the timeout already fired.
+
+        Cancellation is a *condition-visible* terminal state: a
+        :class:`Condition` watching this timeout is told the member can
+        never fire (so an ``all_of`` over a cancelled arm fails loudly
+        instead of hanging forever).  Other registered callbacks are
+        dropped — a waiter that truly depends on the timeout should be
+        liveness-watched, which turns the hang into :class:`SimDeadlock`.
         """
         if self._state != _TRIGGERED:
             return
         self._state = _CANCELLED
+        callbacks = self.callbacks
         self.callbacks = []
-        env = self.env
-        env._cancelled += 1
-        if env._cancelled > 64 and env._cancelled * 2 > len(env._heap):
-            env._compact_heap()
+        for callback in callbacks:
+            owner = getattr(callback, "__self__", None)
+            if isinstance(owner, Condition):
+                owner._on_member_cancelled(self)
+        self.env._note_cancelled()
 
 
 class Condition(Event):
@@ -229,7 +243,7 @@ class Condition(Event):
     The condition value is a dict mapping each fired event to its value.
     """
 
-    __slots__ = ("_events", "_evaluate", "_fired")
+    __slots__ = ("_events", "_evaluate", "_fired", "_dead")
 
     def __init__(
         self,
@@ -241,12 +255,16 @@ class Condition(Event):
         self._events = list(events)
         self._evaluate = evaluate
         self._fired = 0
+        self._dead = 0
         if not self._events:
             self.succeed({})
             return
         for event in self._events:
-            if event._state == _PROCESSED:
+            state = event._state
+            if state == _PROCESSED:
                 self._on_event(event)
+            elif state == _CANCELLED:
+                self._on_member_cancelled(event)
             else:
                 event.callbacks.append(self._on_event)
 
@@ -262,6 +280,27 @@ class Condition(Event):
                 {ev: ev._value for ev in self._events if ev._state != _PENDING}
             )
 
+    def _on_member_cancelled(self, event: Event) -> None:
+        """A watched member was cancelled and can never fire.
+
+        The condition stays pending while the remaining live members could
+        still satisfy ``evaluate`` (an ``any_of`` with a live arm); once
+        satisfaction is impossible (an ``all_of`` over any cancelled arm,
+        or an ``any_of`` whose every arm died) it fails loudly instead of
+        silently never firing.
+        """
+        if self._state != _PENDING:
+            return
+        self._dead += 1
+        total = len(self._events)
+        # Best case: every still-live member eventually fires.
+        reachable = total - self._dead
+        if not self._evaluate(reachable, total):
+            self.fail(SimulationError(
+                f"condition can never fire: {self._dead} of {total} "
+                "watched event(s) were cancelled"
+            ))
+
 
 def _all_fired(fired: int, total: int) -> bool:
     return fired == total
@@ -274,7 +313,7 @@ def _any_fired(fired: int, total: int) -> bool:
 class Process(Event):
     """A running generator; also an event that fires when it returns."""
 
-    __slots__ = ("_generator", "_waiting_on")
+    __slots__ = ("_generator", "_waiting_on", "_pending_resume")
 
     def __init__(self, env: "Environment", generator: Generator):
         super().__init__(env)
@@ -282,6 +321,9 @@ class Process(Event):
             raise TypeError(f"process() requires a generator, got {generator!r}")
         self._generator = generator
         self._waiting_on: Optional[Event] = None
+        #: The scheduled immediate-resume event while the process waits on
+        #: an already-processed target; ``interrupt()`` must disarm it.
+        self._pending_resume: Optional[Event] = None
         # Bootstrap: resume the generator at the current simulation time.
         bootstrap = Event(env)
         bootstrap.callbacks.append(self._resume)
@@ -302,6 +344,16 @@ class Process(Event):
             except ValueError:
                 pass
             self._waiting_on = None
+        pending = self._pending_resume
+        if pending is not None:
+            # The process was interrupted inside the processed-target
+            # immediate-resume window: disarm the scheduled resume, or it
+            # would deliver a spurious second wakeup after the Interrupt.
+            self._pending_resume = None
+            if pending._state == _TRIGGERED:
+                pending._state = _CANCELLED
+                pending.callbacks = []
+                self.env._note_cancelled()
         wakeup = Event(self.env)
         wakeup.callbacks.append(
             lambda _ev: self._step(throw=Interrupt(cause))
@@ -312,6 +364,7 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         self._waiting_on = None
+        self._pending_resume = None
         if event._ok:
             self._step(send=event._value)
         else:
@@ -321,40 +374,72 @@ class Process(Event):
         if self._state != _PENDING:
             return
         env = self.env
-        env._active_process = self
-        try:
-            if throw is not None:
-                target = self._generator.throw(throw)
-            else:
-                target = self._generator.send(send)
-        except StopIteration as stop:
-            self.succeed(stop.value)
-            return
-        except Interrupt:
-            # Interrupt escaped the generator: treat as clean termination.
-            self.succeed(None)
-            return
-        finally:
+        gen = self._generator
+        while True:
+            env._active_process = self
+            try:
+                if throw is not None:
+                    target = gen.throw(throw)
+                else:
+                    target = gen.send(send)
+            except StopIteration as stop:
+                env._active_process = None
+                self.succeed(stop.value)
+                return
+            except Interrupt:
+                # Interrupt escaped the generator: treat as clean
+                # termination.
+                env._active_process = None
+                self.succeed(None)
+                return
+            except BaseException:
+                env._active_process = None
+                raise
             env._active_process = None
-        if not isinstance(target, Event):
-            self._generator.throw(
-                TypeError(f"process yielded a non-event: {target!r}")
-            )
-            return
+            if isinstance(target, Event):
+                break
+            # Non-event yield: throw into the generator and loop, so a
+            # generator that catches the error and returns (or yields a
+            # real event next) goes through the same StopIteration /
+            # registration paths as a plain send — no raw StopIteration
+            # can leak out of callback dispatch.
+            send = None
+            throw = TypeError(f"process yielded a non-event: {target!r}")
+        self._wait_for(target)
+
+    def _wait_for(self, target: Event) -> None:
+        """Park the process on ``target`` (the tail half of a step)."""
         if target._state == _PROCESSED:
-            # Already fired and callbacks ran: resume immediately (same time).
-            immediate = Event(env)
+            # Already fired and callbacks ran: resume immediately (same
+            # time).  Tracked in _pending_resume so interrupt() can disarm.
+            immediate = Event(self.env)
+            self._pending_resume = immediate
             immediate.callbacks.append(
                 lambda _ev: self._resume(target)
             )
             immediate.succeed()
         else:
+            # Pending, triggered, or cancelled.  A cancelled target can
+            # never fire: the process parks forever (pinned semantics —
+            # liveness-watch the waiter to turn that into SimDeadlock).
             self._waiting_on = target
             target.callbacks.append(self._resume)
 
 
+#: The unbound resume function, so batched dispatchers (repro.sim.calendar)
+#: can recognize "this event's sole callback resumes a process" and inline
+#: the generator step without the _resume/_step call frames.
+_RESUME = Process._resume
+
+
 class Environment:
     """The simulation clock plus the pending-event heap."""
+
+    #: Calendar-scheduler hook: None on the heap engine.  When a subclass
+    #: (repro.sim.calendar.CalendarEnvironment) sets an instance dict here,
+    #: ``Timeout.__init__`` routes through ``_bucket_insert`` instead of
+    #: pushing a heap entry.
+    _buckets = None
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
@@ -448,6 +533,13 @@ class Environment:
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         heappush(self._heap, (self._now + delay, next(self._eid), event))
 
+    def _note_cancelled(self) -> None:
+        """Account one newly-dead scheduled entry; compact when they pile
+        up.  Subclasses with extra scheduling structures override this."""
+        self._cancelled += 1
+        if self._cancelled > 64 and self._cancelled * 2 > len(self._heap):
+            self._compact_heap()
+
     def _compact_heap(self) -> None:
         """Drop cancelled entries in one pass and re-heapify.
 
@@ -530,8 +622,10 @@ class Environment:
                 event.callbacks = []
                 for callback in callbacks:
                     callback(event)
-        if not heap:
-            # Nothing can ever fire again: a watched waiter is stuck.
+        if not heap or self._cancelled >= len(heap):
+            # The heap is empty, or every remaining entry is a cancelled
+            # husk past `until`: nothing can ever fire again, so a watched
+            # waiter is genuinely stuck.
             self._raise_if_deadlocked()
         self._now = until
 

@@ -491,3 +491,208 @@ def test_cancelled_heap_compaction_keeps_live_entries():
     env.run()
     assert keep.processed
     assert env.now == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------------------
+# Event-lifecycle regressions: conditions over cancelled members, deadlock
+# detection under run(until=...), non-event yields, and interrupts inside
+# the immediate-resume window.
+# ---------------------------------------------------------------------------
+
+
+def test_all_of_fails_when_member_is_cancelled():
+    # Regression: all_of over a cancelled arm used to hang forever (the
+    # condition silently waited on an event that can never fire).
+    env = Environment()
+    a = env.timeout(1e-6)
+    b = env.timeout(2e-6)
+    cond = env.all_of([a, b])
+    caught = []
+
+    def waiter(env):
+        try:
+            yield cond
+        except SimulationError as exc:
+            caught.append(str(exc))
+
+    env.process(waiter(env))
+    b.cancel()
+    env.run()
+    assert len(caught) == 1
+    assert "can never fire" in caught[0]
+
+
+def test_any_of_survives_cancelled_member_with_live_arm():
+    env = Environment()
+    a = env.timeout(1e-6, value="a")
+    b = env.timeout(2e-6)
+    cond = env.any_of([a, b])
+    seen = []
+
+    def waiter(env):
+        seen.append((yield cond))
+
+    env.process(waiter(env))
+    b.cancel()
+    env.run()
+    assert len(seen) == 1
+    assert seen[0][a] == "a"
+    assert env.now == pytest.approx(1e-6)
+
+
+def test_any_of_fails_when_every_member_is_cancelled():
+    env = Environment()
+    a = env.timeout(1e-6)
+    b = env.timeout(2e-6)
+    cond = env.any_of([a, b])
+    caught = []
+
+    def waiter(env):
+        try:
+            yield cond
+        except SimulationError as exc:
+            caught.append(str(exc))
+
+    env.process(waiter(env))
+    a.cancel()
+    b.cancel()
+    env.run()
+    assert len(caught) == 1
+    assert "2 of 2" in caught[0]
+
+
+def test_condition_over_already_cancelled_member_fails_at_creation():
+    env = Environment()
+    t = env.timeout(1e-6)
+    t.cancel()
+    cond = env.all_of([t])
+    assert cond.triggered
+    assert not cond.ok
+    caught = []
+
+    def waiter(env):
+        try:
+            yield cond
+        except SimulationError as exc:
+            caught.append(str(exc))
+
+    env.process(waiter(env))
+    env.run()
+    assert len(caught) == 1
+
+
+def test_run_until_detects_deadlock_behind_cancelled_tail():
+    # Regression: run(until=...) skipped the deadlock check whenever the
+    # heap still held entries past `until` — even if every one of them was
+    # a cancelled husk that can never fire.
+    from repro.sim import SimDeadlock
+
+    env = Environment()
+    env.watch_liveness(env.event(), "stuck waiter")
+    late = env.timeout(10.0)
+    late.cancel()
+    with pytest.raises(SimDeadlock, match="stuck waiter"):
+        env.run(until=1.0)
+
+
+def test_run_until_no_deadlock_while_live_entry_remains():
+    from repro.sim import SimDeadlock  # noqa: F401 - imported for parity
+
+    env = Environment()
+    env.watch_liveness(env.timeout(10.0), "late but reachable")
+    env.run(until=1.0)  # must not raise: the 10s timeout can still fire
+    assert env.now == pytest.approx(1.0)
+
+
+def test_non_event_yield_is_catchable_typeerror():
+    # Regression: a generator that caught the non-event TypeError and
+    # returned leaked a raw StopIteration out of callback dispatch.
+    env = Environment()
+    caught = []
+
+    def proc(env):
+        try:
+            yield 42
+        except TypeError as exc:
+            caught.append(str(exc))
+        return "done"
+
+    p = env.process(proc(env))
+    env.run()
+    assert len(caught) == 1
+    assert "non-event" in caught[0]
+    assert p.processed and p.ok
+    assert p.value == "done"
+
+
+def test_non_event_yield_uncaught_propagates():
+    env = Environment()
+
+    def proc(env):
+        yield "not an event"
+
+    env.process(proc(env))
+    with pytest.raises(TypeError, match="non-event"):
+        env.run()
+
+
+def test_non_event_yield_then_real_event_continues():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        try:
+            yield None
+        except TypeError:
+            log.append("caught")
+        yield env.timeout(1e-6)
+        log.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert log == ["caught", pytest.approx(1e-6)]
+
+
+def test_interrupt_disarms_pending_immediate_resume():
+    # Regression: interrupting a process inside the processed-target
+    # immediate-resume window left the scheduled resume armed, delivering
+    # a stale wakeup after the Interrupt.
+    env = Environment()
+    trace = []
+    gate = env.event()
+    gate.succeed()  # processed at t=0, before the victim waits on it
+
+    def victim(env):
+        yield env.timeout(1e-6)
+        try:
+            yield gate  # already processed: immediate-resume window
+            trace.append("stale resume")
+        except Interrupt as interrupt:
+            trace.append(("interrupted", interrupt.cause))
+        yield env.event()  # park forever; a stale resume would show up
+
+    proc = env.process(victim(env))
+
+    def attacker(env):
+        yield env.timeout(1e-6)  # same timestamp, after the victim steps
+        proc.interrupt("reset")
+
+    env.process(attacker(env))
+    env.run()
+    assert trace == [("interrupted", "reset")]
+    assert proc.is_alive  # parked on the fresh event, not resumed twice
+
+
+def test_immediate_resume_still_works_without_interrupt():
+    env = Environment()
+    seen = []
+    gate = env.event()
+    gate.succeed("open")
+
+    def waiter(env):
+        yield env.timeout(1e-6)
+        seen.append((yield gate))  # processed target: immediate resume
+
+    env.process(waiter(env))
+    env.run()
+    assert seen == ["open"]

@@ -323,3 +323,29 @@ def test_every_scenario_has_a_minimal_document():
         spec = ScenarioSpec.from_dict(data)
         assert spec.scenario == scenario
         assert ScenarioSpec.from_json(spec.canonical_json()) == spec
+
+
+# ----------------------------------------------------------------------
+# The engine knob (saturate workload)
+# ----------------------------------------------------------------------
+
+
+def test_saturate_engine_defaults_to_heap():
+    spec = ScenarioSpec.from_dict({"scenario": "saturate"})
+    assert spec.workload["engine"] == "heap"
+
+
+def test_saturate_engine_accepts_calendar_and_keys_digest():
+    heap = ScenarioSpec.from_dict({"scenario": "saturate"})
+    calendar = ScenarioSpec.from_dict(
+        {"scenario": "saturate", "workload": {"engine": "calendar"}}
+    )
+    assert calendar.workload["engine"] == "calendar"
+    assert calendar.canonical_json() != heap.canonical_json()
+
+
+def test_saturate_engine_rejects_unknown_value():
+    with pytest.raises(SpecError, match="engine"):
+        ScenarioSpec.from_dict(
+            {"scenario": "saturate", "workload": {"engine": "abacus"}}
+        )
