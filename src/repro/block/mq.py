@@ -149,6 +149,7 @@ class BlockLayer:
                         stream_id=bio.stream_id,
                         attr=bio.attr,
                         deadline=bio.deadline,
+                        tenant=bio.tenant,
                     ),
                 )
                 for ns in self.volume.namespaces
@@ -182,6 +183,7 @@ class BlockLayer:
                     attr=bio.attr,
                     stream_id=bio.stream_id,
                     deadline=bio.deadline,
+                    tenant=bio.tenant,
                     is_split_fragment=split,
                     volume_offsets=vol_offsets[start : start + chunk],
                 )
@@ -227,6 +229,7 @@ class BlockLayer:
             and not nxt.fua
             and prev.attr is None
             and nxt.attr is None
+            and prev.tenant == nxt.tenant
         )
 
     def merge_fragments(

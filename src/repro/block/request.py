@@ -64,6 +64,10 @@ class Bio:
     #: merge/split to the driver, which fast-fails a request whose
     #: remaining budget is below the expected service cost.
     deadline: Optional[float] = None
+    #: Issuing tenant (multi-tenant traffic plane), or None for anonymous
+    #: flows.  Rides merge/split down to the NVMe-oF command context so the
+    #: target's QoS admission can bucket/weigh per tenant class.
+    tenant: Optional[int] = None
     bio_id: int = field(default_factory=lambda: next(_bio_ids))
     submitted_at: float = 0.0
     #: When the bio was first dispatched to the driver (vs merely staged) —
@@ -147,6 +151,9 @@ class BlockRequest:
     stream_id: int = 0
     #: Tightest deadline over the covered bios (None = no deadline).
     deadline: Optional[float] = None
+    #: Issuing tenant shared by the covered bios (merge never crosses
+    #: tenants), or None for anonymous flows.
+    tenant: Optional[int] = None
     #: Which hardware/NIC queue this request should use (Principle 2).
     #: None = let the block layer pick the submitting core's queue.
     qp_index: Optional[int] = None

@@ -451,6 +451,62 @@ def main(argv=None) -> int:
                      "$REPRO_CACHE_DIR)")
     ovl.add_argument("--format", choices=("table", "markdown"),
                      default="table", help="output format")
+    tnt = sub.add_parser(
+        "tenants",
+        help="multi-tenant traffic plane: per-class tail-latency knee "
+        "curves over a Zipf/diurnal tenant mix with optional QoS "
+        "admission, or the seeded noisy-neighbor storm (--storm)",
+    )
+    tnt.add_argument("--storm", action="store_true",
+                     help="run the noisy-neighbor acceptance storm (QoS "
+                     "on vs off per system: the aggressor is paced/shed "
+                     "and the gold SLO must hold) instead of the curves")
+    tnt.add_argument("--systems", default=None,
+                     help="comma-separated systems (default: "
+                     "linux,horae,rio)")
+    tnt.add_argument("--loads", default=None,
+                     help="comma-separated offered loads in kIOPS, "
+                     "ascending (default: 25,50,100,200,400,800)")
+    tnt.add_argument("--layout", default="optane",
+                     help="hardware layout (see harness LAYOUTS)")
+    tnt.add_argument("--initiators", type=int, default=2,
+                     help="initiator hosts fanning into the targets")
+    tnt.add_argument("--streams", type=int, default=4,
+                     help="generator lanes (ordered streams)")
+    tnt.add_argument("--tenants", dest="num_tenants", type=int, default=64,
+                     help="tenant population mapped onto the streams")
+    tnt.add_argument("--zipf-alpha", type=float, default=1.1,
+                     help="Zipf skew of tenant selection (0: uniform)")
+    tnt.add_argument("--diurnal-amplitude", type=float, default=0.0,
+                     help="diurnal rate modulation depth in [0, 1)")
+    tnt.add_argument("--diurnal-period", type=float, default=1e-3,
+                     help="diurnal period in virtual seconds")
+    tnt.add_argument("--qos", action="store_true",
+                     help="arm per-tenant token buckets + weighted-fair "
+                     "admission on every target")
+    tnt.add_argument("--quantum", type=float, default=8.0,
+                     help="weighted-fair deficit quantum (virtual work)")
+    tnt.add_argument("--duration", type=float, default=None,
+                     help="virtual seconds of measured window per cell "
+                     "(default: 2e-3 curves, 3e-3 storm)")
+    tnt.add_argument("--steering", default="pin",
+                     choices=("pin", "round-robin", "least-loaded",
+                              "flow-hash"),
+                     help="target/initiator IRQ+completion steering policy")
+    tnt.add_argument("--seed", type=int, default=42)
+    tnt.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for the grid cells")
+    tnt_cache = tnt.add_mutually_exclusive_group()
+    tnt_cache.add_argument("--cache", dest="cache", action="store_true",
+                           default=True,
+                           help="memoize results on disk (default)")
+    tnt_cache.add_argument("--no-cache", dest="cache", action="store_false",
+                           help="always recompute; touch no cache files")
+    tnt.add_argument("--cache-dir", default=None,
+                     help="cache root (default: results/.cache, or "
+                     "$REPRO_CACHE_DIR)")
+    tnt.add_argument("--format", choices=("table", "markdown"),
+                     default="table", help="output format")
     qual = sub.add_parser(
         "qualify",
         help="SSD qualification matrix: block-size x queue-depth x pattern "
@@ -668,6 +724,66 @@ def main(argv=None) -> int:
             line += "; cache disabled]"
         print(line)
         return 0
+
+    if args.command == "tenants":
+        from repro.harness import sweep as sweep_mod
+        from repro.harness.cache import ResultCache
+        from repro.harness.tenants import (
+            DEFAULT_TENANT_LOADS_KIOPS,
+            TENANT_SYSTEMS,
+            noisy_neighbor_result,
+            tenant_curves,
+        )
+
+        systems = (args.systems.split(",") if args.systems
+                   else list(TENANT_SYSTEMS))
+        cache = ResultCache(root=args.cache_dir) if args.cache else None
+        runner = sweep_mod.configure(jobs=args.jobs, cache=cache)
+        started = time.time()
+        ok = True
+        if args.storm:
+            # Trim defaults so storm cells share digests with the spec
+            # compiler and with kwargs callers that leave these unset.
+            kwargs: Dict[str, object] = {}
+            if args.quantum != 8.0:
+                kwargs["quantum"] = args.quantum
+            if args.duration is not None:
+                kwargs["duration"] = args.duration
+            if args.seed != 42:
+                kwargs["seed"] = args.seed
+            result = noisy_neighbor_result(systems=systems, **kwargs)
+            ok = all(
+                (row["within_slo"] == "yes") == (row["qos"] == "on")
+                for row in result.rows
+            )
+        else:
+            loads = ([float(v) for v in args.loads.split(",") if v != ""]
+                     if args.loads else list(DEFAULT_TENANT_LOADS_KIOPS))
+            result = tenant_curves(
+                systems=systems, loads_kiops=loads, layout=args.layout,
+                initiators=args.initiators, streams=args.streams,
+                num_tenants=args.num_tenants,
+                zipf_alpha=args.zipf_alpha or None,
+                diurnal_amplitude=args.diurnal_amplitude,
+                diurnal_period=args.diurnal_period,
+                qos=args.qos, quantum=args.quantum,
+                duration=(args.duration if args.duration is not None
+                          else 2e-3),
+                steering=args.steering, seed=args.seed,
+            )
+        if args.format == "markdown":
+            print(result.render_markdown())
+        else:
+            print(result.render())
+        line = (f"[tenants: {runner.stats.summary()}; "
+                f"{time.time() - started:.1f}s wall")
+        if cache is not None:
+            line += (f"; cache {cache.root}/{cache.version}: "
+                     f"{cache.hits} hit(s)]")
+        else:
+            line += "; cache disabled]"
+        print(line)
+        return 0 if ok else 1
 
     if args.command == "qualify":
         from repro.harness import sweep as sweep_mod

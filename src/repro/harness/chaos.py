@@ -48,6 +48,7 @@ __all__ = [
     "measure_degradation",
     "build_scale_fault_plan",
     "run_scale_chaos_trial",
+    "run_tenant_chaos_trial",
 ]
 
 #: Hardening profile used by every chaos trial: generous retry budget so
@@ -117,6 +118,13 @@ class ChaosResult:
     #: lets qualification trials assert the fault burst actually landed in
     #: the GC / cache-pressure regime, not on an idle factory-fresh drive.
     device_health: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Tenant trials only: per-class latency accounting over the measured
+    #: window (``{class: {count, mean_us, p50_us, p99_us, p999_us}}``),
+    #: so noisy-neighbor chaos regressions can bound the quiet class's
+    #: tail while the aggressor is being shed (empty for classless trials).
+    class_latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Tenant trials only: admission sheds by reason across all targets.
+    sheds_by_reason: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total_groups(self) -> int:
@@ -503,6 +511,143 @@ def build_scale_fault_plan(
             qp_index=rng.randint(lo, hi - 1),
         )
     return plan
+
+
+def run_tenant_chaos_trial(
+    system: str = "rio",
+    seed: int = 0,
+    layout: str = "optane",
+    gold_kiops: float = 20.0,
+    aggressor_kiops: float = 40.0,
+    aggressor_lanes: int = 30,
+    aggressor_blocks: int = 32,
+    pace_kiops: float = 0.1,
+    qos: bool = True,
+    quantum: float = 8.0,
+    duration: float = 3e-3,
+    warmup: float = 2e-3,
+    faults: bool = True,
+) -> ChaosResult:
+    """The noisy-neighbor storm with transient faults layered on.
+
+    Same seeded testbed as
+    :func:`repro.harness.tenants.probe_noisy_neighbor` — one quiet gold
+    tenant vs. a bronze aggressor of large writes at a multiple of the
+    media pipe's capacity, QoS admission pacing the aggressor when
+    ``qos`` — plus, when ``faults``, a queue-pair breakdown on one of the
+    aggressor's lanes and a target stall, both landing inside the
+    measured window.  The per-class latencies go to
+    :attr:`ChaosResult.class_latency` so the regression can bound the
+    gold tail while faults and shedding are both active; the usual
+    target-side audits (duplicate applies, submission order) apply
+    unchanged.
+    """
+    from repro.harness.tenants import (
+        _storm_class,
+        _storm_hardening,
+        _StormPlane,
+    )
+    from repro.robust.admission import (
+        AdmissionConfig,
+        AdmissionController,
+        QosClass,
+        TenantQos,
+    )
+    from repro.scale import (
+        OpenLoopConfig,
+        ScaleOutCluster,
+        ShardedStack,
+        run_open_loop,
+    )
+
+    env = Environment()
+    cluster = ScaleOutCluster(
+        env,
+        LAYOUTS[layout],
+        num_initiators=1,
+        seed=seed,
+        hardening=_storm_hardening() if qos else None,
+    )
+    lanes = 1 + aggressor_lanes
+    stack = ShardedStack(cluster, system, num_streams=lanes)
+    if qos:
+        tenant_qos = TenantQos(
+            (
+                QosClass("gold", weight=8.0),
+                QosClass("bronze", weight=1.0,
+                         rate_iops=pace_kiops * 1e3, burst=1.0),
+            ),
+            classifier=_storm_class,
+            quantum=quantum,
+        )
+        for target in cluster.targets:
+            target.install_admission(AdmissionController(
+                AdmissionConfig(max_inflight_ordered=128,
+                                max_inflight_unordered=128),
+                qos=tenant_qos,
+            ))
+            target.install_tenant_steering(
+                _storm_class, {"gold": (0.0, 0.2), "bronze": (0.2, 1.0)})
+    plan: Optional[FaultPlan] = None
+    if faults:
+        # Break an aggressor lane's queue pair (gold's lane 0 pins to QP
+        # 0 — the faults stress recovery, not the quiet tenant's path)
+        # and stall the target briefly, both inside the measured window.
+        plan = FaultPlan(seed=seed * 7919 + 41)
+        burst_at = warmup + 0.2 * duration
+        plan.qp_breakdown(at=burst_at, qp_index=1 + aggressor_lanes // 2)
+        plan.target_stall(at=burst_at + 0.1 * duration, target_index=0,
+                          duration=150e-6)
+        plan.install(cluster)
+
+    plane = _StormPlane()
+    run_open_loop(
+        cluster, stack,
+        OpenLoopConfig(
+            offered_iops=(gold_kiops + aggressor_kiops) * 1e3,
+            tenants=lanes, duration=duration, warmup=warmup, seed=seed,
+            weights=(gold_kiops,) + (
+                aggressor_kiops / aggressor_lanes,) * aggressor_lanes,
+            blocks=(1,) + (aggressor_blocks,) * aggressor_lanes,
+        ),
+        plane=plane,
+    )
+
+    result = ChaosResult(
+        system=system, seed=seed, threads=lanes, groups_per_thread=0,
+    )
+    result.elapsed = env.now
+    result.completed_groups = 0
+    result.class_latency = plane.class_summary()
+    result.heap_live_entries = env.live_heap_size()
+    for target in cluster.targets:
+        result.duplicate_applies.extend(target.duplicate_applies())
+        result.submission_order_violations.extend(
+            target.submission_order_violations()
+        )
+        result.duplicates_suppressed += target.duplicates_suppressed
+        for ssd in target.ssds:
+            result.device_health[ssd.name] = ssd.smart()
+        if target.admission is not None:
+            for reason, n in target.admission.shed_by_reason.items():
+                result.sheds_by_reason[reason] = (
+                    result.sheds_by_reason.get(reason, 0.0) + n)
+    if plan is not None:
+        result.fault_counts = plan.counts()
+        result.messages_dropped = plan.messages_dropped
+        result.messages_corrupted = plan.messages_corrupted
+        result.messages_delayed = plan.messages_delayed
+    for node in cluster.nodes:
+        result.node_reconnects.append(node.driver.reconnects)
+        result.node_retries.append(node.driver.retries)
+        result.retries += node.driver.retries
+        result.rpc_retries += node.driver.rpc_retries
+        result.reconnects += node.driver.reconnects
+        result.commands_resubmitted += node.driver.commands_resubmitted
+        result.commands_timed_out += node.driver.commands_timed_out
+    # No group structure in an open-loop storm: per-class op counts live
+    # in class_latency; `ok` reduces to the target-side audits.
+    return result
 
 
 def run_scale_chaos_trial(

@@ -779,6 +779,7 @@ def recovery_table(
 
 from repro.harness.overload import overload_sweep  # noqa: E402
 from repro.harness.saturate import saturation_sweep  # noqa: E402
+from repro.harness.tenants import tenants_sweep  # noqa: E402
 
 #: Every figure's sweep builder, for ``repro sweep`` and the tests.
 SWEEP_BUILDERS = {
@@ -794,4 +795,5 @@ SWEEP_BUILDERS = {
     "recovery": recovery_table_sweep,
     "saturate": saturation_sweep,
     "overload": overload_sweep,
+    "tenants": tenants_sweep,
 }

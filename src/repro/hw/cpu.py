@@ -15,7 +15,7 @@ efficiency" is operations per second per busy core.
 from __future__ import annotations
 
 import hashlib
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.sim.engine import Environment
 from repro.sim.resources import Resource
@@ -132,6 +132,27 @@ class CoreSteering:
         #: whose IRQ affinity points at a degraded NIC path).  Never
         #: selected while at least one non-quarantined core remains.
         self._quarantined: set = set()
+        #: Tenant-class isolation (multi-tenant plane): class name -> core
+        #: sub-pool.  Flows steered with a class confined to a pool cannot
+        #: land outside it, so an aggressor class's interrupt storm stays
+        #: off the quiet classes' cores.  Unassigned classes (and calls
+        #: without a class) use the full pool — the historical behaviour.
+        self._class_pools: Dict[str, List[Core]] = {}
+
+    def assign_class(self, class_name: str, core_indices: Sequence[int]) -> None:
+        """Confine flows of ``class_name`` to the given core subset."""
+        wanted = set(core_indices)
+        chosen = [c for c in self.cores if c.index in wanted]
+        if not chosen:
+            raise ValueError(
+                f"class {class_name!r} pool selects none of this steering's "
+                f"cores {[c.index for c in self.cores]}"
+            )
+        self._class_pools[class_name] = chosen
+
+    def class_pool(self, class_name: str) -> List[Core]:
+        """The cores ``class_name`` is confined to (full pool if none)."""
+        return list(self._class_pools.get(class_name, self.cores))
 
     def quarantine(self, core_index: int) -> None:
         """Exclude a core from selection (health-plane steering)."""
@@ -142,15 +163,23 @@ class CoreSteering:
         """Return a quarantined core to the selection pool."""
         self._quarantined.discard(core_index)
 
-    def _pool(self) -> List[Core]:
+    def _pool(self, tenant_class: Optional[str] = None) -> List[Core]:
+        base = self.cores
+        if tenant_class is not None:
+            base = self._class_pools.get(tenant_class, self.cores)
         if not self._quarantined:
-            return self.cores
-        healthy = [c for c in self.cores if c.index not in self._quarantined]
-        return healthy if healthy else self.cores
+            return base
+        healthy = [c for c in base if c.index not in self._quarantined]
+        return healthy if healthy else base
 
-    def select(self, key: int) -> Core:
-        """The core that handles the message with flow key ``key``."""
-        pool = self._pool()
+    def select(self, key: int, tenant_class: Optional[str] = None) -> Core:
+        """The core that handles the message with flow key ``key``.
+
+        ``tenant_class`` (multi-tenant plane) confines the choice to the
+        class's assigned sub-pool, if one was installed via
+        :meth:`assign_class`; otherwise it is ignored.
+        """
+        pool = self._pool(tenant_class)
         n = len(pool)
         if self.policy == "pin":
             core = pool[key % n]

@@ -149,6 +149,10 @@ class TargetServer:
         #: :meth:`install_admission`.  None = admit everything (stock
         #: behaviour, zero extra work).
         self.admission = None
+        #: Optional tenant -> class-name resolver (multi-tenant plane);
+        #: installed via :meth:`install_tenant_steering`.  None = steer
+        #: by flow key alone (stock behaviour).
+        self.tenant_classifier = None
         self.crashed = False
         self.endpoints: List[QpEndpoint] = []
         self.commands_received = 0
@@ -186,6 +190,39 @@ class TargetServer:
             obs.metrics.register_gauge(
                 f"target.{self.name}.commands_shed", lambda: self.commands_shed
             )
+
+    def install_tenant_steering(self, classifier, shares) -> None:
+        """Confine tenant classes to core sub-pools (multi-tenant plane).
+
+        ``classifier`` maps a tenant id to a class name;  ``shares`` maps
+        class names to fractional ``(lo, hi)`` slices of each steering
+        pool, e.g. ``{"gold": (0.0, 0.5), "bronze": (0.5, 1.0)}`` keeps a
+        bronze interrupt storm off the lower half of both the IRQ and the
+        completion cores.  Classes not in ``shares`` keep the full pool.
+        """
+        self.tenant_classifier = classifier
+        for steering in (self.irq_steering, self.completion_steering):
+            n = len(steering.cores)
+            for class_name, (lo, hi) in shares.items():
+                if not 0.0 <= lo < hi <= 1.0:
+                    raise ValueError(
+                        f"share for {class_name!r} must satisfy 0 <= lo < hi <= 1"
+                    )
+                start = int(lo * n)
+                stop = max(start + 1, int(hi * n))
+                steering.assign_class(
+                    class_name,
+                    [c.index for c in steering.cores[start:stop]],
+                )
+
+    def _tenant_class_of(self, message: Message):
+        if self.tenant_classifier is None or message.kind != "nvme_cmd":
+            return None
+        request = getattr(message.payload, "context", None)
+        tenant = getattr(request, "tenant", None) if request is not None else None
+        if tenant is None:
+            return None
+        return self.tenant_classifier(tenant)
 
     def attach_connection(self, endpoints: List[QpEndpoint]) -> None:
         """Register receive handling for target-side QP endpoints.
@@ -323,8 +360,9 @@ class TargetServer:
         # Steer per message: static policies (pin, flow-hash) resolve to
         # the same core every time, dynamic ones (round-robin,
         # least-loaded) re-decide at interrupt time.
-        core = self.irq_steering.select(flow)
-        completion_core = self.completion_steering.select(flow)
+        tenant_class = self._tenant_class_of(message)
+        core = self.irq_steering.select(flow, tenant_class)
+        completion_core = self.completion_steering.select(flow, tenant_class)
         if self._stall_done is not None and not self._stall_done.triggered:
             yield self._stall_done  # wedged target: park until it recovers
             if self.crashed:

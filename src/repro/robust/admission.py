@@ -33,11 +33,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import count
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.nvmeof.command import OP_WRITE
 
-__all__ = ["AdmissionConfig", "AdmissionController", "RetryBudget"]
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "QosClass",
+    "RetryBudget",
+    "TenantQos",
+]
 
 #: Admission classes.
 ORDERED = "ordered"
@@ -80,6 +86,82 @@ class AdmissionConfig:
             raise ValueError("cache_pressure_limit must be in (0, 1]")
 
 
+@dataclass(frozen=True)
+class QosClass:
+    """QoS parameters of one tenant service class.
+
+    ``weight``    — weighted-fair share: the class's virtual work grows
+                    by ``1/weight`` per admitted command, so a heavier
+                    class may hold proportionally more of the window.
+    ``rate_iops`` — per-*tenant* token-bucket refill rate (None = no
+                    per-tenant pacing for members of this class).
+    ``burst``     — token-bucket depth in commands.
+    """
+
+    name: str
+    weight: float = 1.0
+    rate_iops: Optional[float] = None
+    burst: float = 32.0
+
+    def __post_init__(self):
+        if self.weight <= 0:
+            raise ValueError("QoS class weight must be positive")
+        if self.rate_iops is not None and self.rate_iops <= 0:
+            raise ValueError("QoS rate_iops must be positive")
+        if self.burst < 1.0:
+            raise ValueError("QoS burst must hold >= 1 command")
+
+
+class TenantQos:
+    """Tenant-aware QoS policy for one admission controller.
+
+    Two mechanisms, both deciding *before* any data is fetched:
+
+    * **per-tenant token buckets** — a tenant whose class sets
+      ``rate_iops`` may admit at most ``rate x window + burst`` commands
+      over any window (shed reason ``"pace"``);
+    * **weighted-fair deficits** — each class accumulates virtual work
+      at ``1/weight`` per admit; a class more than ``quantum`` ahead of
+      the least-served *active* class is shed (reason ``"wfq"``).  A
+      class with no competitors is never wfq-shed (work conservation),
+      and a class returning from idle is re-anchored to the current
+      virtual time so banked idle credit cannot starve the backlog.
+    """
+
+    def __init__(
+        self,
+        classes: Tuple[QosClass, ...],
+        classifier: Callable[[int], str],
+        quantum: float = 8.0,
+    ):
+        if not classes:
+            raise ValueError("TenantQos needs at least one class")
+        names = [c.name for c in classes]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate QoS class names")
+        if quantum <= 0:
+            raise ValueError("WFQ quantum must be positive")
+        self.classes = tuple(classes)
+        self.classifier = classifier
+        self.quantum = quantum
+        self._by_name = {c.name: c for c in classes}
+
+    def resolve(self, tenant: int) -> QosClass:
+        return self._by_name[self.classifier(tenant)]
+
+    @classmethod
+    def from_directory(cls, directory, quantum: float = 8.0) -> "TenantQos":
+        """Build the policy straight off a
+        :class:`repro.tenants.TenantDirectory` (weights, rates and bursts
+        come from its :class:`~repro.tenants.TenantClass` entries)."""
+        classes = tuple(
+            QosClass(name=c.name, weight=c.weight, rate_iops=c.rate_iops,
+                     burst=c.burst)
+            for c in directory.classes
+        )
+        return cls(classes, directory.class_name_of, quantum=quantum)
+
+
 class AdmissionController:
     """Bounded per-class admission with ordering-aware suffix shedding.
 
@@ -98,11 +180,22 @@ class AdmissionController:
     ``finally`` runs during generator unwinding.
     """
 
-    def __init__(self, config: Optional[AdmissionConfig] = None):
+    def __init__(
+        self,
+        config: Optional[AdmissionConfig] = None,
+        qos: Optional[TenantQos] = None,
+    ):
         self.config = config if config is not None else AdmissionConfig()
+        self.qos = qos
         self._tokens = count(1)
-        #: token -> (class, admit time).
-        self._entries: Dict[int, Tuple[str, float]] = {}
+        #: token -> (class, admit time, qos class name or None).
+        self._entries: Dict[int, Tuple[str, float, Optional[str]]] = {}
+        #: tenant -> [tokens, last refill time] (token-bucket pacing).
+        self._buckets: Dict[int, List[float]] = {}
+        #: QoS class -> accumulated virtual work (1/weight per admit).
+        self._class_vwork: Dict[str, float] = {}
+        #: QoS class -> commands admitted and not yet completed.
+        self._class_inflight: Dict[str, int] = {}
         self._inflight: Dict[str, int] = {ORDERED: 0, UNORDERED: 0}
         self._sojourn_ewma: Dict[str, Optional[float]] = {
             ORDERED: None, UNORDERED: None,
@@ -126,6 +219,11 @@ class AdmissionController:
     def _attr_of(cmd) -> Any:
         request = getattr(cmd, "context", None)
         return getattr(request, "attr", None) if request is not None else None
+
+    @staticmethod
+    def _tenant_of(cmd) -> Optional[int]:
+        request = getattr(cmd, "context", None)
+        return getattr(request, "tenant", None) if request is not None else None
 
     def classify(self, cmd) -> str:
         attr = self._attr_of(cmd)
@@ -204,16 +302,77 @@ class AdmissionController:
         ):
             return None, self._reject(cls, stream, pos, "sojourn")
 
+        tenant = self._tenant_of(cmd)
+        qcls: Optional[QosClass] = None
+        if self.qos is not None and tenant is not None:
+            qcls = self.qos.resolve(tenant)
+            if qcls.rate_iops is not None and (
+                self._bucket_refill(tenant, qcls, now) < 1.0
+            ):
+                # Per-tenant pacing: the bucket refills at rate_iops, so
+                # over any window the tenant admits at most
+                # rate x window + burst commands.
+                return None, self._reject(cls, stream, pos, "pace")
+            vwork = self._class_vwork.get(qcls.name, 0.0)
+            behind = [
+                self._class_vwork.get(name, 0.0)
+                for name, inflight in self._class_inflight.items()
+                if inflight > 0 and name != qcls.name
+            ]
+            if behind and vwork > min(behind) + self.qos.quantum:
+                # Weighted-fair deficit: this class has pulled more than a
+                # quantum ahead of the least-served competing class — shed
+                # so the laggard's arrivals find slots.  With no active
+                # competitor the check never fires (work conservation).
+                return None, self._reject(cls, stream, pos, "wfq")
+
         if stream is not None:
             if self._shed_from.get(stream) == pos:
                 del self._shed_from[stream]  # the hole is being filled
             upto = self.admitted_upto.get(stream, -1)
             self.admitted_upto[stream] = max(upto, pos)
+        qos_name: Optional[str] = None
+        if qcls is not None:
+            qos_name = qcls.name
+            if qcls.rate_iops is not None:
+                self._buckets[tenant][0] -= 1.0
+            if self._class_inflight.get(qos_name, 0) == 0:
+                # Returning from idle: re-anchor to the current virtual
+                # time so idle credit cannot be banked against the backlog.
+                active = [
+                    self._class_vwork.get(name, 0.0)
+                    for name, inflight in self._class_inflight.items()
+                    if inflight > 0
+                ]
+                if active:
+                    self._class_vwork[qos_name] = max(
+                        self._class_vwork.get(qos_name, 0.0), min(active))
+            self._class_vwork[qos_name] = (
+                self._class_vwork.get(qos_name, 0.0) + 1.0 / qcls.weight)
+            self._class_inflight[qos_name] = (
+                self._class_inflight.get(qos_name, 0) + 1)
         token = next(self._tokens)
-        self._entries[token] = (cls, now)
+        self._entries[token] = (cls, now, qos_name)
         self._inflight[cls] += 1
         self.admitted += 1
         return token, None
+
+    def _bucket_refill(self, tenant: int, qcls: QosClass, now: float) -> float:
+        """Refill ``tenant``'s bucket up to ``now``; returns the balance."""
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = [qcls.burst, now]
+        tokens, last = bucket
+        tokens = min(qcls.burst, tokens + qcls.rate_iops * (now - last))
+        bucket[0] = tokens
+        bucket[1] = now
+        return tokens
+
+    def qos_inflight(self, class_name: str) -> int:
+        return self._class_inflight.get(class_name, 0)
+
+    def qos_virtual_work(self, class_name: str) -> float:
+        return self._class_vwork.get(class_name, 0.0)
 
     def _reject(self, cls: str, stream, pos, reason: str) -> str:
         self.shed += 1
@@ -231,8 +390,10 @@ class AdmissionController:
         entry = self._entries.pop(token, None)
         if entry is None:
             return
-        cls, admitted_at = entry
+        cls, admitted_at, qos_name = entry
         self._inflight[cls] -= 1
+        if qos_name is not None:
+            self._class_inflight[qos_name] -= 1
         sojourn = now - admitted_at
         previous = self._sojourn_ewma[cls]
         if previous is None:

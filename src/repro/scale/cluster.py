@@ -348,6 +348,7 @@ class ShardedStack:
         ipu: bool = False,
         kick: Optional[bool] = None,
         deadline: Optional[float] = None,
+        tenant: Optional[int] = None,
     ):
         bio = Bio(
             op="write",
@@ -357,6 +358,7 @@ class ShardedStack:
             stream_id=stream_id,
             flags=WriteFlags(ipu=ipu),
             deadline=deadline,
+            tenant=tenant,
         )
         return (yield from self.submit_ordered(core, bio, end_of_group,
                                                flush, kick))

@@ -22,7 +22,7 @@ Two cache layers compose here:
 
 Every failing scenario yields minimal replayable specs in
 ``outcome.reproducers`` — the same idea as ``repro check``'s shrunk
-reproducers, generalized to all seven verbs.
+reproducers, generalized to all eight verbs.
 """
 
 from __future__ import annotations
@@ -294,6 +294,51 @@ def _run_overload(spec: ScenarioSpec) -> ScenarioOutcome:
     return ScenarioOutcome(spec=spec, result=result)
 
 
+def _run_tenants(spec: ScenarioSpec) -> ScenarioOutcome:
+    from repro.harness.tenants import noisy_neighbor_result, tenant_curves
+
+    workload = spec.workload
+    if workload["mode"] == "storm":
+        result = noisy_neighbor_result(
+            systems=workload["systems"],
+            **_nondefault(
+                {
+                    "quantum": workload["quantum"],
+                    "duration": workload["duration"],
+                    "seed": workload["seed"],
+                },
+                {"quantum": 8.0, "duration": 3e-3, "seed": 42},
+            ),
+        )
+        # The acceptance criterion, both directions: QoS on holds the
+        # gold SLO on every system, QoS off demonstrably violates it.
+        ok = all(
+            (row["within_slo"] == "yes") == (row["qos"] == "on")
+            for row in result.rows
+        )
+        return ScenarioOutcome(
+            spec=spec, result=result, ok=ok,
+            reproducers=[] if ok else [spec],
+        )
+    result = tenant_curves(
+        systems=workload["systems"],
+        loads_kiops=workload["loads_kiops"],
+        layout=spec.topology["layout"],
+        initiators=spec.topology["initiators"],
+        streams=workload["streams"],
+        num_tenants=workload["num_tenants"],
+        zipf_alpha=workload["zipf_alpha"],
+        diurnal_amplitude=workload["diurnal_amplitude"],
+        diurnal_period=workload["diurnal_period"],
+        qos=workload["qos"],
+        quantum=workload["quantum"],
+        duration=workload["duration"],
+        steering=spec.topology["steering"],
+        seed=workload["seed"],
+    )
+    return ScenarioOutcome(spec=spec, result=result)
+
+
 def _run_qualify(spec: ScenarioSpec) -> ScenarioOutcome:
     from repro.harness.qualify import qualify_report
 
@@ -381,6 +426,8 @@ def run_scenario(
             outcome = _run_overload(spec)
         elif spec.scenario == "qualify":
             outcome = _run_qualify(spec)
+        elif spec.scenario == "tenants":
+            outcome = _run_tenants(spec)
         else:  # pragma: no cover - from_dict already rejects these
             raise ValueError(f"unknown scenario {spec.scenario!r}")
         outcome.stats = runner.stats

@@ -1,7 +1,7 @@
 """The one declarative configuration surface: a versioned ScenarioSpec.
 
 Every harness in this repository — figures, claims, chaos, check,
-saturate, overload, qualify — used to be configured through its own
+saturate, overload, qualify, tenants — used to be configured through its own
 ad-hoc surface (kwargs here, ``WorkloadSpec`` JSON there, a hand-built
 :class:`~repro.sim.faults.FaultPlan` elsewhere).  A :class:`ScenarioSpec`
 replaces all of them: one versioned, JSON-serializable document of six
@@ -59,6 +59,7 @@ SPEC_VERSION = 1
 #: Every harness verb a spec can target.
 SCENARIOS = (
     "figure", "claims", "chaos", "check", "saturate", "overload", "qualify",
+    "tenants",
 )
 
 #: Domain tag mixed into the digest so a ScenarioSpec digest can never
@@ -361,6 +362,24 @@ _WORKLOADS: Dict[str, Dict[str, _Field]] = {
         "seed": _Field("int", default=7),
         "sustained": _Field("bool", default=True),
     },
+    "tenants": {
+        "mode": _Field("str", default="curves", choices=("curves", "storm")),
+        "systems": _Field("list:str", default=("linux", "horae", "rio")),
+        "loads_kiops": _Field("list:number",
+                              default=(25, 50, 100, 200, 400, 800),
+                              minimum=0.0),
+        "streams": _Field("int", default=4, minimum=1),
+        "num_tenants": _Field("int", default=64, minimum=1),
+        "zipf_alpha": _Field("float", default=1.1, nullable=True,
+                             minimum=0.0),
+        "diurnal_amplitude": _Field("float", default=0.0, minimum=0.0),
+        "diurnal_period": _Field("float", default=1e-3, minimum=0.0),
+        "qos": _Field("bool", default=False),
+        "quantum": _Field("float", default=8.0, minimum=0.0),
+        "duration": _Field("float", default=None, nullable=True,
+                           minimum=0.0),
+        "seed": _Field("int", default=42),
+    },
 }
 
 #: Per-scenario default for ``topology.layout`` (``None`` = the scenario
@@ -373,6 +392,7 @@ _DEFAULT_LAYOUT: Dict[str, Optional[str]] = {
     "saturate": "optane",
     "overload": "optane",
     "qualify": "flash-qual",
+    "tenants": "optane",
 }
 
 #: Per-scenario default for ``topology.initiators`` — saturate and
@@ -386,6 +406,7 @@ _DEFAULT_INITIATORS: Dict[str, int] = {
     "saturate": 2,
     "overload": 2,
     "qualify": 1,
+    "tenants": 2,
 }
 
 #: Sections a scenario's compiler honors beyond ``workload``; any other
@@ -398,6 +419,7 @@ _ALLOWED_SECTIONS: Dict[str, Tuple[str, ...]] = {
     "saturate": ("topology",),
     "overload": ("topology", "policies"),
     "qualify": ("topology", "policies", "oracle"),
+    "tenants": ("topology",),
 }
 
 _SECTION_TABLES = {
@@ -693,6 +715,41 @@ def _validate_scenario(spec: ScenarioSpec) -> None:
                 raise SpecError(
                     f"policies.protections: unknown profile(s) {bad}"
                 )
+    elif scenario == "tenants":
+        if workload["diurnal_amplitude"] >= 1.0:
+            raise SpecError(
+                "workload.diurnal_amplitude: must be below 1 (the trough "
+                "rate 1 - amplitude has to stay positive)"
+            )
+        if workload["zipf_alpha"] is not None and workload["zipf_alpha"] == 0:
+            raise SpecError(
+                "workload.zipf_alpha: use null for an unskewed population, "
+                "not 0"
+            )
+        if workload["mode"] == "storm":
+            defaults = _WORKLOADS["tenants"]
+            for key in ("loads_kiops", "streams", "num_tenants",
+                        "zipf_alpha", "diurnal_amplitude", "diurnal_period",
+                        "qos"):
+                default = defaults[key].default
+                default = (list(default) if isinstance(default, tuple)
+                           else default)
+                if workload[key] != default:
+                    raise SpecError(
+                        f"workload.{key}: the storm mode is the fixed "
+                        "noisy-neighbor acceptance experiment (it sweeps "
+                        "QoS on/off itself); only systems, quantum, "
+                        "duration and seed apply"
+                    )
+            if (spec.topology != {**_section_defaults("topology"),
+                                  "layout": _DEFAULT_LAYOUT["tenants"],
+                                  "initiators":
+                                      _DEFAULT_INITIATORS["tenants"]}):
+                raise SpecError(
+                    "topology: the storm mode runs on its own fixed "
+                    "single-initiator testbed; leave the topology "
+                    "section out"
+                )
     elif scenario == "qualify":
         if spec.policies["protections"] is not None:
             raise SpecError("policies.protections: only the overload "
@@ -713,7 +770,9 @@ def _validate_scenario(spec: ScenarioSpec) -> None:
                             f"policies.floors[{cell_key!r}][{floor_name!r}]"
                             ": expected a number"
                         )
-    if scenario in ("saturate", "overload"):
+    if scenario in ("saturate", "overload") or (
+        scenario == "tenants" and workload["mode"] == "curves"
+    ):
         loads = workload["loads_kiops"]
         if not loads:
             raise SpecError("workload.loads_kiops: need at least one load")
@@ -725,6 +784,9 @@ def _resolve_scenario_defaults(spec: ScenarioSpec) -> ScenarioSpec:
     changed = False
     if spec.scenario == "overload" and workload["duration"] is None:
         workload["duration"] = 2e-3 if workload["mode"] == "metastable" else 4e-3
+        changed = True
+    if spec.scenario == "tenants" and workload["duration"] is None:
+        workload["duration"] = 2e-3 if workload["mode"] == "curves" else 3e-3
         changed = True
     if spec.scenario == "qualify":
         from repro.harness.qualify import PROFILES

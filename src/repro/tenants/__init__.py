@@ -1,0 +1,31 @@
+"""Multi-tenant traffic plane (ROADMAP item 1).
+
+Maps large tenant populations onto the scale-out plane's streams, gives
+each tenant a service class with an SLO, skews arrivals (Zipf) and
+modulates rates over virtual time (diurnal), and accounts tail latency
+per class.  QoS *enforcement* (token buckets + weighted-fair deficits)
+lives in :mod:`repro.robust.admission`; this package provides the
+directory those mechanisms consult.
+"""
+
+from repro.tenants.directory import (
+    CLASS_NAMES,
+    DEFAULT_CLASSES,
+    ClassAccountant,
+    DiurnalProfile,
+    TenantClass,
+    TenantDirectory,
+    zipf_rank,
+)
+from repro.tenants.traffic import TenantTrafficPlane
+
+__all__ = [
+    "CLASS_NAMES",
+    "DEFAULT_CLASSES",
+    "ClassAccountant",
+    "DiurnalProfile",
+    "TenantClass",
+    "TenantDirectory",
+    "TenantTrafficPlane",
+    "zipf_rank",
+]

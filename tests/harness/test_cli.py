@@ -62,3 +62,23 @@ def test_check_replay_roundtrip(tmp_path, capsys):
     assert main(["check", "--replay", str(path)]) == 0
     out = capsys.readouterr().out
     assert "replayed" in out and "0 failing" in out
+
+
+def test_tenants_curves_cli_prints_table(capsys, tmp_path):
+    assert main(["tenants", "--systems", "rio", "--loads", "50",
+                 "--initiators", "1", "--streams", "2", "--tenants", "8",
+                 "--duration", "0.001", "--seed", "7",
+                 "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "gold_p999_us" in out
+    assert "[tenants:" in out
+
+
+def test_tenants_storm_cli_exits_zero_when_both_directions_hold(
+    capsys, tmp_path,
+):
+    assert main(["tenants", "--storm",
+                 "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Noisy neighbor" in out
+    assert "both directions demonstrated" in out

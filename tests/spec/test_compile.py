@@ -247,3 +247,44 @@ def test_saturate_engine_spec_matches_kwargs_and_heap_results():
     heap = saturation_curves(systems=("rio",), loads_kiops=(100,),
                              duration=1e-3)
     assert outcome.render() == heap.render()
+
+
+def test_tenants_curves_spec_matches_kwargs():
+    from repro.harness.tenants import tenant_curves
+
+    outcome = run_scenario(ScenarioSpec.from_dict(
+        {"scenario": "tenants",
+         "workload": {"systems": ["rio"], "loads_kiops": [50],
+                      "streams": 2, "num_tenants": 8, "duration": 1e-3,
+                      "seed": 7},
+         "topology": {"initiators": 1}}
+    ))
+    legacy = tenant_curves(systems=("rio",), loads_kiops=(50,), streams=2,
+                           num_tenants=8, duration=1e-3, seed=7,
+                           initiators=1)
+    assert outcome.render() == legacy.render()
+
+
+def test_tenants_storm_cells_are_shared_with_the_kwargs_entry_point(
+    tmp_path,
+):
+    """The storm spec compiles to the very same content-addressed cells
+    as `noisy_neighbor_result()` called with kwargs (defaults trimmed,
+    the PR 9 idiom): a warm cache from one satisfies the other with
+    zero executions."""
+    from repro.harness import sweep as sweep_mod
+    from repro.harness.cache import ResultCache
+    from repro.harness.tenants import noisy_neighbor_result
+
+    cache = ResultCache(root=tmp_path, version="test")
+    with sweep_mod.configured(jobs=1, cache=cache):
+        kwargs_result = noisy_neighbor_result(systems=("rio",))
+    assert cache.hits == 0
+
+    warm = ResultCache(root=tmp_path, version="test")
+    outcome = run_scenario(ScenarioSpec.from_dict(
+        {"scenario": "tenants",
+         "workload": {"mode": "storm", "systems": ["rio"]}}
+    ), cache=warm)
+    assert warm.hits >= len(kwargs_result.rows)
+    assert outcome.result.rows == kwargs_result.rows

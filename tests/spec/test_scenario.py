@@ -349,3 +349,67 @@ def test_saturate_engine_rejects_unknown_value():
         ScenarioSpec.from_dict(
             {"scenario": "saturate", "workload": {"engine": "abacus"}}
         )
+
+
+# ----------------------------------------------------------------------
+# The tenants scenario
+# ----------------------------------------------------------------------
+
+
+def test_tenants_duration_resolves_per_mode():
+    curves = ScenarioSpec.from_dict({"scenario": "tenants"})
+    storm = ScenarioSpec.from_dict(
+        {"scenario": "tenants", "workload": {"mode": "storm"}}
+    )
+    assert curves.workload["duration"] == pytest.approx(2e-3)
+    assert storm.workload["duration"] == pytest.approx(3e-3)
+
+
+def test_tenants_rejects_degenerate_knob_values():
+    with pytest.raises(SpecError, match="trough rate"):
+        ScenarioSpec.from_dict(
+            {"scenario": "tenants", "workload": {"diurnal_amplitude": 1.0}}
+        )
+    with pytest.raises(SpecError, match="null for an unskewed"):
+        ScenarioSpec.from_dict(
+            {"scenario": "tenants", "workload": {"zipf_alpha": 0.0}}
+        )
+    # null *is* the unskewed population.
+    spec = ScenarioSpec.from_dict(
+        {"scenario": "tenants", "workload": {"zipf_alpha": None}}
+    )
+    assert spec.workload["zipf_alpha"] is None
+
+
+def test_tenants_storm_mode_is_a_fixed_experiment():
+    with pytest.raises(SpecError, match="sweeps QoS on/off itself"):
+        ScenarioSpec.from_dict(
+            {"scenario": "tenants",
+             "workload": {"mode": "storm", "qos": True}}
+        )
+    with pytest.raises(SpecError, match="fixed single-initiator testbed"):
+        ScenarioSpec.from_dict(
+            {"scenario": "tenants", "workload": {"mode": "storm"},
+             "topology": {"initiators": 4}}
+        )
+    # The knobs that do apply key the digest.
+    base = ScenarioSpec.from_dict(
+        {"scenario": "tenants", "workload": {"mode": "storm"}}
+    )
+    tuned = ScenarioSpec.from_dict(
+        {"scenario": "tenants",
+         "workload": {"mode": "storm", "quantum": 4.0, "seed": 7}}
+    )
+    assert tuned.digest() != base.digest()
+
+
+def test_tenants_curves_require_a_load_ladder():
+    with pytest.raises(SpecError, match="loads_kiops"):
+        ScenarioSpec.from_dict(
+            {"scenario": "tenants", "workload": {"loads_kiops": []}}
+        )
+    # The storm carries no ladder; an empty list is only wrong in curves.
+    storm = ScenarioSpec.from_dict(
+        {"scenario": "tenants", "workload": {"mode": "storm"}}
+    )
+    assert storm.workload["mode"] == "storm"
